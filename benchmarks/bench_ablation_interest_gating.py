@@ -1,0 +1,37 @@
+"""EXP-A4: interest gating on vs off (paper characteristic #1).
+
+"Messages are issued only if there are entities interested in tracking an
+entity."  With nobody tracking, the gated broker publishes nothing but
+lifecycle traces; an ungated broker publishes every heartbeat into the
+void.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+from repro.bench.experiments.ablations import run_interest_gating_ablation
+
+
+def test_ablation_interest_gating(benchmark, report):
+    results = run_once(benchmark, run_interest_gating_ablation)
+
+    by_mode = {r.gated: r for r in results}
+    gated, ungated = by_mode[True], by_mode[False]
+    lines = [
+        "EXP-A4: interest gating (8 untracked entities, 60 s)",
+        "=" * 52,
+        f"{'mode':<14s} {'published':>10s} {'suppressed':>11s}",
+        "-" * 38,
+        f"{'gated (§3.5)':<14s} {gated.published:>10d} {gated.suppressed:>11d}",
+        f"{'ungated':<14s} {ungated.published:>10d} {ungated.suppressed:>11d}",
+        "",
+        f"gating avoided {ungated.published - gated.published} signed "
+        "publications that nobody would have received.",
+    ]
+    report("ablation_interest_gating", "\n".join(lines))
+
+    # gating suppresses nearly everything when nobody listens; without it
+    # every heartbeat is signed and published anyway
+    assert gated.suppressed > 0
+    assert ungated.suppressed == 0
+    assert ungated.published > 5 * gated.published

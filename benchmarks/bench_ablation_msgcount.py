@@ -1,0 +1,48 @@
+"""EXP-A1: the introduction's N x (N-1) message-count ablation.
+
+The strawman (every entity heart-beating every other) grows quadratically;
+interest-gated broker tracing grows linearly in the population, so the
+reduction factor itself grows with N.
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+from repro.bench.experiments.ablations import run_message_count_sweep
+from repro.bench.tables import render_series
+
+POPULATIONS = (10, 20, 40, 80)
+
+
+def test_ablation_message_count(benchmark, report):
+    results = run_once(benchmark, run_message_count_sweep, populations=POPULATIONS)
+
+    series = {
+        "all-pairs msgs/s": [
+            (r.population, r.allpairs_msgs_per_s) for r in results
+        ],
+        "tracing msgs/s": [
+            (r.population, r.tracing_msgs_per_s) for r in results
+        ],
+        "reduction factor": [
+            (r.population, r.reduction_factor) for r in results
+        ],
+    }
+    report(
+        "ablation_msgcount",
+        render_series(
+            "EXP-A1: message load, all-pairs heartbeats vs tracing", "N", series
+        ),
+    )
+
+    ordered = sorted(results, key=lambda r: r.population)
+    # quadratic vs linear: the reduction factor grows with N ...
+    factors = [r.reduction_factor for r in ordered]
+    assert factors == sorted(factors)
+    # ... and the largest population shows a substantial win
+    assert factors[-1] > 5.0
+    # sanity: the analytic all-pairs rate is exactly N(N-1)
+    for result in ordered:
+        assert result.allpairs_msgs_per_s == result.population * (
+            result.population - 1
+        )

@@ -1,0 +1,67 @@
+"""EXP-F4: Figure 4 — trace time while increasing the number of trackers.
+
+"As can be seen the trace time increases very slowly with an increase in
+the number of trackers.  This demonstrates the capability of the system to
+track entities without overloading the brokers."
+"""
+
+from __future__ import annotations
+
+from conftest import run_once
+from repro.bench.experiments.trackers import growth_ratio, run_trackers_sweep
+from repro.bench.tables import render_series
+from repro.transport.tcp import TCP_CLUSTER
+from repro.transport.udp import UDP_CLUSTER
+
+COUNTS = (10, 20, 30, 40, 50, 60, 70, 80, 90, 100)
+DURATION_MS = 60_000.0
+
+
+def _run_both():
+    return {
+        "TCP": run_trackers_sweep(
+            counts=COUNTS, profile=TCP_CLUSTER, duration_ms=DURATION_MS
+        ),
+        "UDP": run_trackers_sweep(
+            counts=COUNTS, profile=UDP_CLUSTER, duration_ms=DURATION_MS
+        ),
+    }
+
+
+def test_figure4_trackers(benchmark, report, save_figure):
+    by_transport = run_once(benchmark, _run_both)
+
+    series = {}
+    for transport, results in by_transport.items():
+        series[f"{transport} trace time (ms)"] = [
+            (r.tracker_count, r.summary.mean) for r in results
+        ]
+    report(
+        "figure4_trackers",
+        render_series(
+            "Figure 4: trace time vs number of trackers", "trackers", series
+        ),
+    )
+    from repro.bench.svgplot import series_dict_to_svg
+
+    save_figure(
+        "figure4_trackers",
+        series_dict_to_svg(
+            "Figure 4: trace time vs number of trackers",
+            "trackers", "trace time (ms)", series, y_from_zero=True,
+        ),
+    )
+
+    for transport, results in by_transport.items():
+        # the paper's claim: growth is slow — a 10x tracker population
+        # costs well under 25% extra trace latency
+        ratio = growth_ratio(results)
+        assert ratio < 1.25, (
+            f"{transport}: trace time grew {ratio:.2f}x from 10 to 100 trackers"
+        )
+        # ... and every tracker population still delivers promptly
+        assert all(r.summary.mean < 120.0 for r in results)
+
+    # UDP sits below TCP throughout, as in every other figure
+    for tcp_result, udp_result in zip(by_transport["TCP"], by_transport["UDP"]):
+        assert udp_result.summary.mean < tcp_result.summary.mean

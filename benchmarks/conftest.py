@@ -1,0 +1,46 @@
+"""Shared infrastructure for the benchmark suite.
+
+Each benchmark runs its experiment exactly once (``benchmark.pedantic``
+with one round — the experiments are deterministic simulations, so
+repeated timing rounds would only re-measure the host's Python speed),
+prints a paper-vs-measured table, and appends it to
+``benchmarks/results/`` so EXPERIMENTS.md can cite the output.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def report():
+    """Print a report block and persist it under benchmarks/results/."""
+
+    def _report(name: str, text: str) -> None:
+        print()
+        print(text)
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _report
+
+
+@pytest.fixture
+def save_figure():
+    """Persist a rendered SVG figure under benchmarks/results/."""
+
+    def _save(name: str, svg: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.svg").write_text(svg)
+        print(f"figure written: benchmarks/results/{name}.svg")
+
+    return _save
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` once under pytest-benchmark and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

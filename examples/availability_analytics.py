@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Downstream analytics on a trace stream: uptime records and forecasts.
+
+The tracing scheme delivers verified traces; this example shows what a
+consumer builds on top of them:
+
+* an AvailabilityArchive turning change notifications into per-entity
+  uptime records (availability %, outage count, MTTR),
+* a NetworkForecaster running NWS-style predictors (the paper's Ref [4])
+  over NETWORK_METRICS traces to answer "what RTT should I expect?".
+
+Run:  python examples/availability_analytics.py
+"""
+
+from repro import build_deployment
+from repro.tracing.archive import AvailabilityArchive
+from repro.tracing.failure import AdaptivePingPolicy
+from repro.tracing.forecast import NetworkForecaster
+
+
+def main() -> None:
+    dep = build_deployment(
+        broker_ids=["b1", "b2"],
+        seed=31,
+        ping_policy=AdaptivePingPolicy(
+            base_interval_ms=1_000.0, min_interval_ms=200.0,
+            max_interval_ms=2_000.0, response_deadline_ms=300.0,
+        ),
+    )
+    flaky = dep.add_traced_entity("flaky-worker")
+    steady = dep.add_traced_entity("steady-worker")
+    tracker = dep.add_tracker("analytics")
+    tracker.connect("b2")
+
+    archive = AvailabilityArchive(tracker)
+    forecaster = NetworkForecaster(tracker)
+
+    flaky.start("b1")
+    steady.start("b1")
+    dep.sim.run(until=4_000)
+    tracker.track("flaky-worker")
+    tracker.track("steady-worker")
+
+    # the flaky worker crashes twice and re-registers each time
+    for round_start in (30_000, 120_000):
+        dep.sim.run(until=round_start)
+        flaky.crash()
+        dep.sim.run(until=round_start + 60_000)
+        dep.sim.process(flaky.reregister())
+
+    dep.sim.run(until=300_000)
+
+    print("== availability after 5 virtual minutes ==")
+    print(archive.report(dep.sim.now))
+
+    flaky_record = archive.record_of("flaky-worker")
+    mttr = flaky_record.mean_time_to_recover_ms()
+    print(f"\nflaky-worker: {flaky_record.down_count} outages, "
+          f"MTTR {mttr/1000:.1f}s, was it up at t=100s? "
+          f"{flaky_record.was_up_at(100_000, dep.sim.now)}")
+
+    print("\n== network forecasts (NWS-style predictor selection) ==")
+    for name in ("flaky-worker", "steady-worker"):
+        rtt = forecaster.forecast_rtt_ms(name)
+        if rtt is None:
+            print(f"  {name:<14s} no metrics yet")
+            continue
+        best = forecaster.rtt[name].best_predictor()
+        print(f"  {name:<14s} expected RTT {rtt:6.2f} ms "
+              f"(best predictor: {best})")
+
+
+if __name__ == "__main__":
+    main()

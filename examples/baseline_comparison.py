@@ -1,0 +1,46 @@
+#!/usr/bin/env python3
+"""Why not just heartbeat everyone?  The paper's opening argument, measured.
+
+Compares three availability-tracking designs on the same simulation
+kernel:
+
+* all-pairs heartbeats — N x (N-1) messages per period (section 1),
+* gossip failure detection (van Renesse et al., Ref [7]),
+* the paper's interest-gated broker tracing.
+
+Run:  python examples/baseline_comparison.py
+"""
+
+from repro.bench.experiments.ablations import (
+    run_gossip_comparison,
+    run_message_count_sweep,
+)
+from repro.bench.tables import render_series
+
+
+def main() -> None:
+    print("measuring message loads (a few seconds of simulation)...\n")
+    results = run_message_count_sweep(populations=(10, 20, 40))
+    series = {
+        "all-pairs msgs/s": [(r.population, r.allpairs_msgs_per_s) for r in results],
+        "tracing msgs/s": [(r.population, r.tracing_msgs_per_s) for r in results],
+        "reduction": [(r.population, r.reduction_factor) for r in results],
+    }
+    print(render_series("Message load vs population", "N", series))
+
+    print("\nmeasuring failure-detection quality vs gossip...\n")
+    g = run_gossip_comparison(population=16)
+    print(f"gossip:  first node suspects the crash after "
+          f"{g.gossip_detect_first_ms/1000:.1f}s, the last after "
+          f"{g.gossip_detect_last_ms/1000:.1f}s "
+          f"({g.gossip_msgs_per_s:.0f} msgs/s steady state)")
+    print(f"tracing: the broker declares FAILED after "
+          f"{g.tracing_detect_ms/1000:.1f}s and every tracker learns it at "
+          f"once ({g.tracing_msgs_per_s:.1f} msgs/s for this entity)")
+    print("\ngossip's detection spread (uneven propagation) is the paper's")
+    print("related-work critique; the broker scheme trades a coordinator")
+    print("role for a single, authorized, authenticated verdict.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Secured tracing with restricted discovery and a live attacker.
+
+A fleet service encrypts its traces (section 5.1) and restricts discovery
+of its trace topic to a named partner (section 3.1).  The demo shows:
+
+* the authorized tracker discovering the topic, receiving the secret
+  trace key via the sealed key-distribution payload, and decrypting
+  heartbeats;
+* an unauthorized tracker getting silence from the TDN;
+* a snooping tracker that somehow knows the topics but holds no key,
+  unable to read a single trace;
+* an attacker injecting forged FAILED traces, discarded by the brokers,
+  and terminated after repeated attempts (section 5.2).
+
+Run:  python examples/secure_fleet.py
+"""
+
+from repro import build_deployment, TraceType
+from repro.errors import DiscoveryError
+from repro.security.dos import SpuriousTracePublisher, attack_surface
+from repro.tdn.query import DiscoveryRestrictions
+
+
+def main() -> None:
+    dep = build_deployment(broker_ids=["edge", "core"], seed=99)
+
+    fleet = dep.add_traced_entity(
+        "fleet-coordinator",
+        secured=True,
+        restrictions=DiscoveryRestrictions.allow_only("partner-dashboard"),
+    )
+    fleet.start("edge")
+    dep.sim.run(until=3_000)
+
+    # -- authorized partner ---------------------------------------------------
+    partner = dep.add_tracker("partner-dashboard")
+    partner.connect("core")
+    partner.track("fleet-coordinator")
+    dep.sim.run(until=20_000)
+    key = partner.trace_key_for("fleet-coordinator")
+    heartbeats = partner.traces_of_type(TraceType.ALLS_WELL)
+    print(f"partner-dashboard: trace key received = {key is not None}, "
+          f"decrypted heartbeats = {len(heartbeats)}")
+
+    # -- unauthorized discovery -------------------------------------------------
+    outsider = dep.add_tracker("outsider")
+    outsider.connect("core")
+    proc = outsider.track("fleet-coordinator")
+    dep.sim.run(until=22_000)
+    try:
+        _ = proc.value
+        print("outsider: UNEXPECTEDLY discovered the topic!")
+    except DiscoveryError:
+        print("outsider: TDN ignored the discovery request "
+              "(unauthorized and nonexistent are indistinguishable)")
+
+    # -- snoop with topics but no key -------------------------------------------
+    # grant the snoop discovery (it is 'partner-dashboard'? no — simulate a
+    # leak by tracking via the TDN after loosening nothing: instead the
+    # snoop subscribes with stolen topic knowledge but never answers
+    # gauges, so it is never keyed
+    snoop = dep.add_tracker("partner-dashboard-clone", proactive_interest=False)
+    snoop.connect("core")
+    topics = dep.manager_of("edge").session_of("fleet-coordinator").topics
+    snoop.client = dep.network.add_client("snoop-conn", machine_name="machine-snoop")
+    dep.network.connect_client(snoop.client, "core")
+    got_ciphertext = []
+    snoop.client.subscribe(
+        topics.all_updates, lambda m: got_ciphertext.append(m)
+    )
+    dep.sim.run(until=40_000)
+    readable = [m for m in got_ciphertext if not m.encrypted]
+    print(f"snoop: captured {len(got_ciphertext)} trace messages on the wire, "
+          f"{len(readable)} readable without the trace key")
+
+    # -- active attacker ----------------------------------------------------------
+    attacker = SpuriousTracePublisher(
+        dep.sim, "mallory", dep.network, dep.network.machine("machine-mallory")
+    )
+    attacker.connect("core")
+    dep.sim.process(
+        attacker.flood(fleet.advertisement.trace_topic, "fleet-coordinator", count=8)
+    )
+    dep.sim.run(until=60_000)
+    broker = dep.network.broker("core")
+    fake_failed = partner.traces_of_type(TraceType.FAILED)
+    print(f"mallory: injected {attacker.attempts} forged traces; "
+          f"partner saw {len(fake_failed)} FAILED traces; "
+          f"terminated = {broker.is_blacklisted('mallory')}")
+
+    surface = attack_surface(dep.network, "edge", "fleet-coordinator")
+    print(f"location hiding: brokers knowing the entity's location = "
+          f"{surface['brokers_knowing_location']} (expected {surface['expected']})")
+
+
+if __name__ == "__main__":
+    main()

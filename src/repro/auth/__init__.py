@@ -1,0 +1,25 @@
+"""Authorization (section 4): credentials, delegation tokens, enforcement.
+
+Three mechanisms combine to ensure that only authorized entities generate,
+route and consume traces:
+
+* every trace-related message initiated by an entity is signed with the
+  entity's credentials (section 4.2);
+* brokers publishing traces must present an authorization token the traced
+  entity delegated to them, and every routing broker verifies it before
+  forwarding (section 4.3);
+* trace topics are unguessable 128-bit UUIDs whose discovery is restricted
+  at the TDN (section 4.1).
+"""
+
+from repro.auth.credentials import EntityCredentials
+from repro.auth.tokens import AuthorizationToken, TokenRights
+from repro.auth.verification import TokenVerifier, TraceAuthorizationGuard
+
+__all__ = [
+    "EntityCredentials",
+    "AuthorizationToken",
+    "TokenRights",
+    "TokenVerifier",
+    "TraceAuthorizationGuard",
+]

@@ -1,0 +1,72 @@
+"""EXP-F4: trace time while increasing the number of trackers (Figure 3/4).
+
+The Figure 3 topology: the traced entity on one broker, trackers added
+ten at a time (each group of ten on its own machine) on a second broker.
+The measuring tracker is colocated with the entity; the reported series is
+its mean ALLS_WELL latency as the tracker population grows.  The paper's
+claim: "the trace time increases very slowly with an increase in the
+number of trackers" — pub/sub fan-out does the heavy lifting, so the
+per-tracker cost at the broker is a tiny delivery charge rather than a
+full unicast + crypto pass.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.bench.topology import star_with_trackers
+from repro.tracing.traces import TraceType
+from repro.transport.base import TransportProfile
+from repro.transport.tcp import TCP_CLUSTER
+from repro.util.stats import StatSummary, summarize
+
+
+@dataclass(frozen=True, slots=True)
+class TrackersResult:
+    tracker_count: int
+    transport: str
+    summary: StatSummary
+
+
+def run_trackers_case(
+    tracker_count: int,
+    profile: TransportProfile = TCP_CLUSTER,
+    duration_ms: float = 120_000.0,
+    seed: int = 9,
+) -> TrackersResult:
+    dep, entity, measuring, load_trackers = star_with_trackers(
+        tracker_count, profile=profile, seed=seed
+    )
+    entity.start("broker-entity")
+    dep.sim.run(until=3_000.0)
+    measuring.track("traced-entity")
+    for tracker in load_trackers:
+        tracker.track("traced-entity")
+    dep.sim.run(until=3_000.0 + duration_ms)
+
+    latencies = measuring.latencies(TraceType.ALLS_WELL)
+    if not latencies:
+        raise RuntimeError(f"no heartbeats with {tracker_count} trackers")
+    return TrackersResult(
+        tracker_count=tracker_count,
+        transport=profile.name,
+        summary=summarize(latencies),
+    )
+
+
+def run_trackers_sweep(
+    counts: tuple[int, ...] = (10, 20, 30, 40, 50, 60, 70, 80, 90, 100),
+    profile: TransportProfile = TCP_CLUSTER,
+    duration_ms: float = 120_000.0,
+    seed: int = 9,
+) -> list[TrackersResult]:
+    return [
+        run_trackers_case(count, profile=profile, duration_ms=duration_ms, seed=seed)
+        for count in counts
+    ]
+
+
+def growth_ratio(results: list[TrackersResult]) -> float:
+    """Mean latency at the largest population over the smallest."""
+    ordered = sorted(results, key=lambda r: r.tracker_count)
+    return ordered[-1].summary.mean / ordered[0].summary.mean

@@ -1,0 +1,65 @@
+"""The paper's reported numbers, transcribed for side-by-side comparison.
+
+All values in milliseconds, from Table 3 and Table 4 of the paper.
+Figures 2, 4 and 5 plot the same/similar series; Figure 2 is exactly the
+Table 3 macro rows.
+"""
+
+from __future__ import annotations
+
+# --- Table 3: trace routing overhead, mean (std dev) by hops ------------------
+
+TABLE3_TCP_AUTH = {
+    2: (72.68, 4.14), 3: (79.45, 4.08), 4: (86.40, 4.90),
+    5: (93.99, 4.33), 6: (100.81, 4.36),
+}
+TABLE3_TCP_AUTH_SEC = {
+    2: (90.29, 4.41), 3: (98.12, 5.63), 4: (105.06, 6.17),
+    5: (110.89, 7.38), 6: (116.21, 4.30),
+}
+TABLE3_UDP_AUTH = {
+    2: (70.24, 3.45), 3: (76.47, 3.95), 4: (84.02, 4.00),
+    5: (89.78, 3.69), 6: (96.79, 4.61),
+}
+TABLE3_UDP_AUTH_SEC = {
+    2: (88.86, 4.52), 3: (95.19, 5.59), 4: (101.76, 5.13),
+    5: (107.99, 5.81), 6: (114.33, 4.53),
+}
+
+#: (mean, std dev) of the per-operation security costs.
+TABLE3_MICRO = {
+    "Token Generation and Signing": (27.19, 2.99),
+    "Verifying Authorization Token": (2.01, 1.04),
+    "Encrypting Trace Message": (0.25, 0.73),
+    "Decrypting Trace Message": (1.15, 0.68),
+    "Sign Trace Message": (24.51, 1.81),
+    "Verify Signature in Trace Message": (6.83, 1.81),
+    "Sign Encrypted Trace Message": (24.00, 1.37),
+    "Verify Signature in Encrypted Trace Message": (5.31, 1.09),
+}
+
+#: Key distribution overhead by hops: (mean, std dev).
+TABLE3_KEYDIST = {
+    2: (81.53, 36.59), 3: (114.16, 39.29), 4: (140.79, 40.12),
+}
+
+# --- Table 4: trace routing overhead by number of traced entities -------------
+
+TABLE4_ENTITIES = {
+    10: (75.64, 19.79), 20: (85.43, 30.53), 30: (118.77, 54.98),
+}
+
+# --- Qualitative claims used as acceptance bands -------------------------------
+
+#: Per-hop slope of the Table 3 macro rows (~7 ms/hop across all variants).
+EXPECTED_HOP_SLOPE_MS = (5.0, 9.0)
+
+#: The auth+security premium over auth-only (~17.6 ms in Table 3).
+EXPECTED_SECURITY_GAP_MS = (10.0, 26.0)
+
+#: UDP saves a few ms over TCP at every hop count.
+EXPECTED_UDP_SAVING_MS = (0.5, 6.0)
+
+#: Figure 5: the section 6.3 optimization saves roughly sign - encrypt on
+#: the entity side plus verify - decrypt at the broker (~30 ms).
+EXPECTED_SYMMETRIC_OPT_SAVING_MS = (12.0, 40.0)

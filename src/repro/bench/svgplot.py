@@ -1,0 +1,179 @@
+"""Minimal dependency-free SVG line charts for the reproduced figures.
+
+The benchmark harness renders each figure's series to an ``.svg`` next to
+its ``.txt`` table, so the repository can regenerate visual analogues of
+the paper's Figures 2, 4 and 5 without any plotting dependency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from xml.sax.saxutils import escape
+
+#: Line colors cycled across series.
+PALETTE = ["#1f6feb", "#d29922", "#2da44e", "#cf222e", "#8250df", "#bf3989"]
+
+
+@dataclass(frozen=True, slots=True)
+class Series:
+    """One named line: a list of (x, y) points."""
+
+    name: str
+    points: tuple[tuple[float, float], ...]
+
+
+def _nice_ticks(low: float, high: float, count: int = 5) -> list[float]:
+    """Roughly `count` round tick values spanning [low, high]."""
+    if high <= low:
+        high = low + 1.0
+    raw_step = (high - low) / max(count - 1, 1)
+    magnitude = 10 ** int(f"{raw_step:e}".split("e")[1])
+    for multiple in (1, 2, 5, 10):
+        step = multiple * magnitude
+        if step >= raw_step:
+            break
+    start = step * int(low / step)
+    ticks = []
+    value = start
+    while value <= high + step * 0.5:
+        if value >= low - step * 0.5:
+            ticks.append(round(value, 10))
+        value += step
+    return ticks
+
+
+def line_chart(
+    title: str,
+    xlabel: str,
+    ylabel: str,
+    series: list[Series],
+    width: int = 640,
+    height: int = 400,
+    y_from_zero: bool = False,
+) -> str:
+    """Render a complete SVG document for the given series."""
+    if not series or not any(s.points for s in series):
+        raise ValueError("need at least one non-empty series")
+
+    margin_left, margin_right = 64, 160
+    margin_top, margin_bottom = 48, 56
+    plot_w = width - margin_left - margin_right
+    plot_h = height - margin_top - margin_bottom
+
+    xs = [x for s in series for x, _ in s.points]
+    ys = [y for s in series for _, y in s.points]
+    x_lo, x_hi = min(xs), max(xs)
+    y_lo, y_hi = (0.0 if y_from_zero else min(ys)), max(ys)
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    # breathing room on y
+    pad = 0.08 * (y_hi - y_lo)
+    y_lo = y_lo if y_from_zero else y_lo - pad
+    y_hi = y_hi + pad
+
+    def sx(x: float) -> float:
+        return margin_left + plot_w * (x - x_lo) / (x_hi - x_lo)
+
+    def sy(y: float) -> float:
+        return margin_top + plot_h * (1.0 - (y - y_lo) / (y_hi - y_lo))
+
+    parts = [
+        f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+        f'height="{height}" viewBox="0 0 {width} {height}" '
+        f'font-family="sans-serif" font-size="12">',
+        f'<rect width="{width}" height="{height}" fill="white"/>',
+        f'<text x="{width / 2}" y="24" text-anchor="middle" '
+        f'font-size="15" font-weight="bold">{escape(title)}</text>',
+    ]
+
+    # axes + grid
+    for tick in _nice_ticks(y_lo, y_hi):
+        if not y_lo <= tick <= y_hi:
+            continue
+        y = sy(tick)
+        parts.append(
+            f'<line x1="{margin_left}" y1="{y:.1f}" '
+            f'x2="{margin_left + plot_w}" y2="{y:.1f}" '
+            f'stroke="#dddddd" stroke-width="1"/>'
+        )
+        parts.append(
+            f'<text x="{margin_left - 8}" y="{y + 4:.1f}" '
+            f'text-anchor="end">{tick:g}</text>'
+        )
+    for tick in _nice_ticks(x_lo, x_hi):
+        if not x_lo <= tick <= x_hi:
+            continue
+        x = sx(tick)
+        parts.append(
+            f'<line x1="{x:.1f}" y1="{margin_top + plot_h}" '
+            f'x2="{x:.1f}" y2="{margin_top + plot_h + 5}" '
+            f'stroke="#333333"/>'
+        )
+        parts.append(
+            f'<text x="{x:.1f}" y="{margin_top + plot_h + 20}" '
+            f'text-anchor="middle">{tick:g}</text>'
+        )
+    parts.append(
+        f'<rect x="{margin_left}" y="{margin_top}" width="{plot_w}" '
+        f'height="{plot_h}" fill="none" stroke="#333333"/>'
+    )
+    parts.append(
+        f'<text x="{margin_left + plot_w / 2}" y="{height - 12}" '
+        f'text-anchor="middle">{escape(xlabel)}</text>'
+    )
+    parts.append(
+        f'<text x="18" y="{margin_top + plot_h / 2}" text-anchor="middle" '
+        f'transform="rotate(-90 18 {margin_top + plot_h / 2})">'
+        f"{escape(ylabel)}</text>"
+    )
+
+    # series lines + legend
+    for index, s in enumerate(sorted(series, key=lambda s: s.name)):
+        if not s.points:
+            continue
+        color = PALETTE[index % len(PALETTE)]
+        ordered = sorted(s.points)
+        path = " ".join(
+            f"{'M' if i == 0 else 'L'}{sx(x):.1f},{sy(y):.1f}"
+            for i, (x, y) in enumerate(ordered)
+        )
+        parts.append(
+            f'<path d="{path}" fill="none" stroke="{color}" stroke-width="2"/>'
+        )
+        for x, y in ordered:
+            parts.append(
+                f'<circle cx="{sx(x):.1f}" cy="{sy(y):.1f}" r="3" '
+                f'fill="{color}"/>'
+            )
+        legend_y = margin_top + 16 * index
+        legend_x = margin_left + plot_w + 12
+        parts.append(
+            f'<line x1="{legend_x}" y1="{legend_y}" x2="{legend_x + 18}" '
+            f'y2="{legend_y}" stroke="{color}" stroke-width="2"/>'
+        )
+        parts.append(
+            f'<text x="{legend_x + 24}" y="{legend_y + 4}">'
+            f"{escape(s.name)}</text>"
+        )
+
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def series_dict_to_svg(
+    title: str,
+    xlabel: str,
+    ylabel: str,
+    data: dict[str, list[tuple[float, float]]],
+    **kwargs,
+) -> str:
+    """Convenience: plot the same dict shape render_series consumes."""
+    return line_chart(
+        title,
+        xlabel,
+        ylabel,
+        [Series(name, tuple(points)) for name, points in data.items()],
+        **kwargs,
+    )

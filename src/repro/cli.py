@@ -1,0 +1,284 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``info``
+    Package, paper and experiment-index summary.
+``quickstart``
+    Run the minimal tracing scenario and print what the tracker saw.
+``bench``
+    Run one experiment family and print its paper-vs-measured table
+    (``hops``, ``micro``, ``keydist``, ``trackers``, ``entities``,
+    ``msgcount``, ``gossip``, ``adaptive``).
+``demo``
+    Run a scenario: ``failure`` (crash detection), ``secure``
+    (confidential traces), ``availability`` (archive report).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import __version__
+
+
+def _cmd_info(_args) -> int:
+    from repro.crypto.costmodel import PAPER_CALIBRATION
+
+    print(f"repro {__version__} — IPDPS 2007 availability-tracing reproduction")
+    print("paper: Pallickara, Ekanayake, Fox — 'A Scalable Approach for the")
+    print("       Secure and Authorized Tracking of the Availability of")
+    print("       Entities in Distributed Systems'")
+    print()
+    print("experiments: hops (Table 3/Fig 2), micro (Table 3), keydist (Table 3),")
+    print("             trackers (Fig 4), entities (Table 4), msgcount / gossip /")
+    print("             adaptive (ablations)")
+    print(f"calibrated crypto operations: {len(PAPER_CALIBRATION)}")
+    print("docs: README.md, DESIGN.md, EXPERIMENTS.md")
+    return 0
+
+
+def _cmd_quickstart(args) -> int:
+    from repro import build_deployment, TraceType
+
+    dep = build_deployment(broker_ids=["b1", "b2", "b3"], seed=args.seed)
+    entity = dep.add_traced_entity("demo-service")
+    tracker = dep.add_tracker("demo-tracker")
+    tracker.connect("b3")
+    entity.start("b1")
+    dep.sim.run(until=3_000)
+    tracker.track("demo-service")
+    dep.sim.run(until=float(args.duration) * 1000.0)
+
+    latencies = tracker.latencies(TraceType.ALLS_WELL)
+    print(f"traces received: {len(tracker.received)}")
+    for kind in sorted({t.trace_type.value for t in tracker.received}):
+        count = sum(1 for t in tracker.received if t.trace_type.value == kind)
+        print(f"  {kind:<20s} x{count}")
+    if latencies:
+        print(f"mean heartbeat latency: {sum(latencies)/len(latencies):.2f} ms")
+    return 0
+
+
+def _cmd_bench(args) -> int:
+    from repro.bench.tables import render_comparison, render_series
+    from repro.bench import paper_data
+    from repro.bench.tables import ComparisonRow
+
+    name = args.experiment
+    if name == "hops":
+        from repro.bench.experiments.hops import run_hops_sweep
+
+        results = run_hops_sweep(
+            hops_list=tuple(args.hops), duration_ms=args.duration * 1000.0
+        )
+        blocks = {
+            ("TCP", False): paper_data.TABLE3_TCP_AUTH,
+            ("TCP", True): paper_data.TABLE3_TCP_AUTH_SEC,
+            ("UDP", False): paper_data.TABLE3_UDP_AUTH,
+            ("UDP", True): paper_data.TABLE3_UDP_AUTH_SEC,
+        }
+        rows = [
+            ComparisonRow(
+                label=f"{r.transport} {'auth+sec' if r.secured else 'auth'} {r.hops} hops",
+                paper_mean=blocks[(r.transport, r.secured)][r.hops][0],
+                paper_std=blocks[(r.transport, r.secured)][r.hops][1],
+                measured=r.summary,
+            )
+            for r in results
+        ]
+        print(render_comparison("Table 3: trace routing overhead (ms)", rows))
+    elif name == "micro":
+        from repro.bench.experiments.microcosts import run_calibrated_micro
+
+        results = run_calibrated_micro(samples=1_000)
+        rows = [
+            ComparisonRow(
+                label=r.label,
+                paper_mean=paper_data.TABLE3_MICRO[r.label][0],
+                paper_std=paper_data.TABLE3_MICRO[r.label][1],
+                measured=r.calibrated,
+            )
+            for r in results
+        ]
+        print(render_comparison("Table 3: per-operation security costs (ms)", rows))
+    elif name == "keydist":
+        from repro.bench.experiments.keydist import run_keydist_sweep
+
+        results = run_keydist_sweep()
+        rows = [
+            ComparisonRow(
+                label=f"key distribution, {r.hops} hops",
+                paper_mean=paper_data.TABLE3_KEYDIST[r.hops][0],
+                paper_std=paper_data.TABLE3_KEYDIST[r.hops][1],
+                measured=r.summary,
+            )
+            for r in results
+        ]
+        print(render_comparison("Table 3: key distribution overhead (ms)", rows))
+    elif name == "trackers":
+        from repro.bench.experiments.trackers import run_trackers_sweep
+
+        results = run_trackers_sweep(
+            counts=(10, 30, 50, 70, 100), duration_ms=args.duration * 1000.0
+        )
+        print(
+            render_series(
+                "Figure 4: trace time vs trackers", "trackers",
+                {"trace time (ms)": [(r.tracker_count, r.summary.mean) for r in results]},
+            )
+        )
+    elif name == "entities":
+        from repro.bench.experiments.entities import run_entities_sweep
+
+        results = run_entities_sweep(duration_ms=args.duration * 1000.0)
+        rows = [
+            ComparisonRow(
+                label=f"{r.entity_count} traced entities",
+                paper_mean=paper_data.TABLE4_ENTITIES[r.entity_count][0],
+                paper_std=paper_data.TABLE4_ENTITIES[r.entity_count][1],
+                measured=r.summary,
+            )
+            for r in results
+        ]
+        print(render_comparison("Table 4: overhead vs traced entities (ms)", rows))
+    elif name == "msgcount":
+        from repro.bench.experiments.ablations import run_message_count_sweep
+
+        results = run_message_count_sweep(populations=(10, 20, 40))
+        print(
+            render_series(
+                "EXP-A1: message load", "N",
+                {
+                    "all-pairs msgs/s": [(r.population, r.allpairs_msgs_per_s) for r in results],
+                    "tracing msgs/s": [(r.population, r.tracing_msgs_per_s) for r in results],
+                },
+            )
+        )
+    elif name == "gossip":
+        from repro.bench.experiments.ablations import run_gossip_comparison
+
+        g = run_gossip_comparison()
+        print(f"gossip:  detect {g.gossip_detect_first_ms:.0f}-"
+              f"{g.gossip_detect_last_ms:.0f} ms, {g.gossip_msgs_per_s:.1f} msgs/s")
+        print(f"tracing: detect {g.tracing_detect_ms:.0f} ms, "
+              f"{g.tracing_msgs_per_s:.1f} msgs/s")
+    elif name == "adaptive":
+        from repro.bench.experiments.ablations import run_adaptive_ping_ablation
+
+        for r in run_adaptive_ping_ablation():
+            print(f"{r.label:<26s} detect={r.detection_ms:.0f} ms "
+                  f"pings={r.pings_sent}")
+    else:  # pragma: no cover - argparse restricts choices
+        print(f"unknown experiment {name!r}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_demo(args) -> int:
+    from repro import build_deployment, TraceType
+
+    if args.scenario == "failure":
+        from repro.tracing.failure import AdaptivePingPolicy
+
+        dep = build_deployment(
+            broker_ids=["b1", "b2"], seed=args.seed,
+            ping_policy=AdaptivePingPolicy(
+                base_interval_ms=1_000.0, min_interval_ms=200.0,
+                max_interval_ms=2_000.0, response_deadline_ms=300.0,
+            ),
+        )
+        entity = dep.add_traced_entity("svc")
+        tracker = dep.add_tracker("w")
+        tracker.connect("b2")
+        entity.start("b1")
+        dep.sim.run(until=3_000)
+        tracker.track("svc")
+        dep.sim.run(until=10_000)
+        print("crashing the entity at t=10s ...")
+        entity.crash()
+        dep.sim.run(until=60_000)
+        for kind in (TraceType.FAILURE_SUSPICION, TraceType.FAILED):
+            traces = tracker.traces_of_type(kind)
+            when = f"t={traces[0].received_ms/1000:.2f}s" if traces else "never"
+            print(f"  {kind.value:<20s} {when}")
+    elif args.scenario == "secure":
+        dep = build_deployment(broker_ids=["b1", "b2"], seed=args.seed)
+        entity = dep.add_traced_entity("svc", secured=True)
+        tracker = dep.add_tracker("w")
+        tracker.connect("b2")
+        entity.start("b1")
+        dep.sim.run(until=3_000)
+        tracker.track("svc")
+        dep.sim.run(until=30_000)
+        print(f"trace key distributed: {tracker.trace_key_for('svc') is not None}")
+        print(f"decrypted heartbeats:  {len(tracker.traces_of_type(TraceType.ALLS_WELL))}")
+    elif args.scenario == "availability":
+        from repro.tracing.archive import AvailabilityArchive
+
+        dep = build_deployment(broker_ids=["b1"], seed=args.seed)
+        entity = dep.add_traced_entity("svc")
+        tracker = dep.add_tracker("w")
+        tracker.connect("b1")
+        archive = AvailabilityArchive(tracker)
+        entity.start("b1")
+        dep.sim.run(until=3_000)
+        tracker.track("svc")
+        dep.sim.run(until=30_000)
+        entity.crash()
+        dep.sim.run(until=90_000)
+        dep.sim.process(entity.reregister())
+        dep.sim.run(until=150_000)
+        print(archive.report(dep.sim.now))
+    else:  # pragma: no cover
+        return 2
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Secure & authorized availability tracking (IPDPS 2007 reproduction)",
+    )
+    parser.add_argument("--version", action="version", version=f"repro {__version__}")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="package and experiment summary")
+
+    quickstart = sub.add_parser("quickstart", help="run the minimal scenario")
+    quickstart.add_argument("--seed", type=int, default=42)
+    quickstart.add_argument("--duration", type=float, default=30.0,
+                            help="virtual seconds to simulate")
+
+    bench = sub.add_parser("bench", help="run one experiment family")
+    bench.add_argument(
+        "experiment",
+        choices=["hops", "micro", "keydist", "trackers", "entities",
+                 "msgcount", "gossip", "adaptive"],
+    )
+    bench.add_argument("--hops", type=int, nargs="+", default=[2, 3, 4, 5, 6])
+    bench.add_argument("--duration", type=float, default=60.0,
+                       help="virtual seconds per case")
+
+    demo = sub.add_parser("demo", help="run a scenario")
+    demo.add_argument("scenario", choices=["failure", "secure", "availability"])
+    demo.add_argument("--seed", type=int, default=7)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "info": _cmd_info,
+        "quickstart": _cmd_quickstart,
+        "bench": _cmd_bench,
+        "demo": _cmd_demo,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

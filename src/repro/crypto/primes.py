@@ -1,0 +1,102 @@
+"""Probabilistic prime generation for RSA key material.
+
+Miller-Rabin with a deterministic witness set for small inputs and random
+witnesses (from a caller-supplied seeded RNG) above that, so key generation
+is reproducible inside a seeded simulation run.
+"""
+
+from __future__ import annotations
+
+import random
+
+# Primes below 100 — used for fast trial-division rejection.
+_SMALL_PRIMES = (
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47,
+    53, 59, 61, 67, 71, 73, 79, 83, 89, 97,
+)
+
+# For n < 3,317,044,064,679,887,385,961,981 these witnesses make
+# Miller-Rabin deterministic (Sorenson & Webster).
+_DETERMINISTIC_WITNESSES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+_DETERMINISTIC_BOUND = 3_317_044_064_679_887_385_961_981
+
+
+def _miller_rabin_round(n: int, a: int, d: int, r: int) -> bool:
+    """One MR round; True means 'probably prime' for witness ``a``."""
+    x = pow(a, d, n)
+    if x == 1 or x == n - 1:
+        return True
+    for _ in range(r - 1):
+        x = (x * x) % n
+        if x == n - 1:
+            return True
+    return False
+
+
+def is_probable_prime(n: int, rng: random.Random | None = None, rounds: int = 40) -> bool:
+    """Miller-Rabin primality test.
+
+    Deterministic for n below ~3.3e24; above that, ``rounds`` random
+    witnesses give error probability at most 4^-rounds.
+    """
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    # write n-1 = d * 2^r with d odd
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    if n < _DETERMINISTIC_BOUND:
+        witnesses: tuple[int, ...] | list[int] = _DETERMINISTIC_WITNESSES
+    else:
+        rng = rng or random.Random()
+        witnesses = [rng.randrange(2, n - 1) for _ in range(rounds)]
+    for a in witnesses:
+        if a % n == 0:
+            continue
+        if not _miller_rabin_round(n, a, d, r):
+            return False
+    return True
+
+
+def generate_prime(bits: int, rng: random.Random) -> int:
+    """A random probable prime of exactly ``bits`` bits.
+
+    The top two bits are forced so that the product of two such primes has
+    exactly ``2 * bits`` bits (standard RSA practice).
+    """
+    if bits < 8:
+        raise ValueError(f"prime size too small: {bits} bits")
+    while True:
+        candidate = rng.getrandbits(bits)
+        candidate |= (1 << (bits - 1)) | (1 << (bits - 2))  # force size
+        candidate |= 1  # force odd
+        if is_probable_prime(candidate, rng):
+            return candidate
+
+
+def egcd(a: int, b: int) -> tuple[int, int, int]:
+    """Extended Euclid: returns (g, x, y) with a*x + b*y = g = gcd(a, b)."""
+    old_r, r = a, b
+    old_s, s = 1, 0
+    old_t, t = 0, 1
+    while r:
+        q = old_r // r
+        old_r, r = r, old_r - q * r
+        old_s, s = s, old_s - q * s
+        old_t, t = t, old_t - q * t
+    return old_r, old_s, old_t
+
+
+def modinv(a: int, m: int) -> int:
+    """Modular inverse of ``a`` mod ``m``; raises if not coprime."""
+    g, x, _ = egcd(a % m, m)
+    if g != 1:
+        raise ValueError(f"{a} has no inverse modulo {m}")
+    return x % m

@@ -1,0 +1,201 @@
+"""One-call wiring of a complete tracing deployment.
+
+Assembles the full stack the paper describes: a certificate authority, a
+replicated TDN cluster, a broker network with authorization guards
+installed on every broker, a broker discovery service, and per-broker
+:class:`~repro.tracing.broker_ops.TraceManager` instances.  Tests,
+benchmarks and examples all build on this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.auth.credentials import EntityCredentials
+from repro.auth.verification import TokenVerifier, TraceAuthorizationGuard
+from repro.crypto.certificates import CertificateAuthority
+from repro.crypto.costmodel import CryptoOp, OpCost
+from repro.crypto.rsa import RSAPublicKey
+from repro.messaging.broker_network import BrokerNetwork
+from repro.messaging.discovery import BrokerDiscoveryService
+from repro.sim.engine import Simulator
+from repro.sim.monitor import Monitor
+from repro.tdn.node import TDNCluster
+from repro.tdn.query import DiscoveryRestrictions
+from repro.tracing.broker_ops import TraceManager
+from repro.tracing.entity import TracedEntity
+from repro.tracing.failure import AdaptivePingPolicy
+from repro.tracing.interest import ALL_CATEGORIES, InterestCategory
+from repro.tracing.tracker import Tracker
+from repro.transport.base import TransportProfile
+from repro.transport.tcp import TCP_CLUSTER
+from repro.util.clock import NTPSkewModel
+from repro.util.identifiers import EntityId
+
+
+@dataclass
+class Deployment:
+    """A fully wired simulated deployment."""
+
+    sim: Simulator
+    monitor: Monitor
+    network: BrokerNetwork
+    ca: CertificateAuthority
+    tdn: TDNCluster
+    discovery: BrokerDiscoveryService
+    managers: dict[str, TraceManager]
+    token_verifier: TokenVerifier
+    default_profile: TransportProfile
+    entities: dict[str, TracedEntity] = field(default_factory=dict)
+    trackers: dict[str, Tracker] = field(default_factory=dict)
+
+    # ------------------------------------------------------------- principals
+
+    def add_traced_entity(
+        self,
+        entity_id: str,
+        machine_name: str | None = None,
+        restrictions: DiscoveryRestrictions | None = None,
+        secured: bool = False,
+        use_symmetric_channel: bool = False,
+        monitor: Monitor | None = None,
+    ) -> TracedEntity:
+        """Create a traced entity with CA-issued credentials."""
+        machine = self.network.machine(machine_name or f"machine-{entity_id}")
+        credentials = EntityCredentials.issue(entity_id, self.ca, machine.rng)
+        entity = TracedEntity(
+            sim=self.sim,
+            entity_id=EntityId(entity_id),
+            network=self.network,
+            machine=machine,
+            credentials=credentials,
+            tdn=self.tdn,
+            monitor=monitor or self.monitor,
+            restrictions=restrictions,
+            secured=secured,
+            use_symmetric_channel=use_symmetric_channel,
+        )
+        self.entities[entity_id] = entity
+        return entity
+
+    def add_tracker(
+        self,
+        tracker_id: str,
+        machine_name: str | None = None,
+        interests: frozenset[InterestCategory] = ALL_CATEGORIES,
+        monitor: Monitor | None = None,
+        proactive_interest: bool = True,
+        verify_traces: bool = True,
+    ) -> Tracker:
+        """Create a tracker with CA-issued credentials."""
+        machine = self.network.machine(machine_name or f"machine-{tracker_id}")
+        credentials = EntityCredentials.issue(tracker_id, self.ca, machine.rng)
+        tracker = Tracker(
+            sim=self.sim,
+            tracker_id=tracker_id,
+            network=self.network,
+            machine=machine,
+            credentials=credentials,
+            tdn=self.tdn,
+            token_verifier=self.token_verifier,
+            monitor=monitor or self.monitor,
+            interests=interests,
+            proactive_interest=proactive_interest,
+            verify_traces=verify_traces,
+        )
+        self.trackers[tracker_id] = tracker
+        return tracker
+
+    def manager_of(self, broker_id: str) -> TraceManager:
+        return self.managers[broker_id]
+
+
+def tdn_public_keys(tdn: TDNCluster) -> dict[str, RSAPublicKey]:
+    """The trusted TDN key map brokers and trackers verify against."""
+    return {node.name: node._keys.public for node in tdn.nodes}
+
+
+def build_deployment(
+    broker_ids: Iterable[str] = ("b1", "b2"),
+    topology: str = "chain",
+    seed: int = 0,
+    profile: TransportProfile = TCP_CLUSTER,
+    tdn_node_count: int = 2,
+    cost_calibration: Mapping[CryptoOp, OpCost] | None = None,
+    cost_scale: float = 1.0,
+    ntp_model: NTPSkewModel | None = None,
+    ping_policy: AdaptivePingPolicy | None = None,
+    gauge_interval_ms: float = 60_000.0,
+    skew_tolerance_ms: float = 100.0,
+    extra_links: Iterable[tuple[str, str]] = (),
+) -> Deployment:
+    """Build a complete deployment.
+
+    ``topology`` is ``"chain"`` (the paper's Figure 1 line of brokers),
+    ``"star"`` (first broker is the hub), or ``"none"`` (add links via
+    ``extra_links`` only).
+    """
+    sim = Simulator()
+    monitor = Monitor()
+    network = BrokerNetwork(
+        sim,
+        seed=seed,
+        monitor=monitor,
+        default_profile=profile,
+        cost_calibration=cost_calibration,
+        cost_scale=cost_scale,
+        ntp_model=ntp_model,
+    )
+
+    ids = list(broker_ids)
+    for broker_id in ids:
+        network.add_broker(broker_id)
+    if topology == "chain":
+        for left, right in zip(ids, ids[1:]):
+            network.connect_brokers(left, right)
+    elif topology == "star" and len(ids) > 1:
+        for spoke in ids[1:]:
+            network.connect_brokers(ids[0], spoke)
+    elif topology not in ("chain", "star", "none"):
+        raise ValueError(f"unknown topology {topology!r}")
+    for left, right in extra_links:
+        network.connect_brokers(left, right)
+
+    ca = CertificateAuthority("repro-root-ca", network.streams.stream("ca"))
+
+    tdn_machines = [network.machine(f"machine-tdn-{i}") for i in range(tdn_node_count)]
+    tdn = TDNCluster(
+        sim, ca, tdn_machines, monitor=monitor,
+        uuid_seed=network.streams.derive_seed("tdn-uuids"),
+    )
+
+    verifier = TokenVerifier(tdn_public_keys(tdn), skew_tolerance_ms=skew_tolerance_ms)
+    guard = TraceAuthorizationGuard(verifier)
+
+    discovery = BrokerDiscoveryService(sim, monitor=monitor)
+    managers: dict[str, TraceManager] = {}
+    for broker_id in ids:
+        broker = network.broker(broker_id)
+        broker.publish_guards.append(guard)
+        discovery.register_broker(broker)
+        managers[broker_id] = TraceManager(
+            broker=broker,
+            ca=ca,
+            tdn_public_keys=tdn_public_keys(tdn),
+            monitor=monitor,
+            ping_policy=ping_policy,
+            gauge_interval_ms=gauge_interval_ms,
+        )
+
+    return Deployment(
+        sim=sim,
+        monitor=monitor,
+        network=network,
+        ca=ca,
+        tdn=tdn,
+        discovery=discovery,
+        managers=managers,
+        token_verifier=verifier,
+        default_profile=profile,
+    )

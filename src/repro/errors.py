@@ -1,0 +1,86 @@
+"""Exception hierarchy for the tracing framework.
+
+Every failure mode the paper's protocol can produce maps to a distinct
+exception type so callers (and tests) can discriminate between, e.g., a
+signature that failed to verify versus an authorization token that expired.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A component was constructed or wired with invalid parameters."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulator was driven into an invalid state."""
+
+
+class TransportError(ReproError):
+    """A simulated transport could not deliver or accept a payload."""
+
+
+class TopicError(ReproError):
+    """A topic string is malformed or violates constrained-topic syntax."""
+
+
+class RoutingError(ReproError):
+    """The broker network could not route a message."""
+
+
+class NotConnectedError(ReproError):
+    """An entity attempted an operation that requires a broker connection."""
+
+
+# --- cryptography -----------------------------------------------------------
+
+
+class CryptoError(ReproError):
+    """Base class for cryptographic failures."""
+
+
+class KeyError_(CryptoError):
+    """A key was malformed, of the wrong type, or of the wrong size."""
+
+
+class SignatureError(CryptoError):
+    """A digital signature failed to verify."""
+
+
+class DecryptionError(CryptoError):
+    """A ciphertext could not be decrypted (wrong key, corrupt data, padding)."""
+
+
+class PaddingError(DecryptionError):
+    """Block-cipher or PKCS#1 padding was invalid after decryption."""
+
+
+class CertificateError(CryptoError):
+    """An X.509-like certificate is invalid, expired, or untrusted."""
+
+
+# --- discovery / authorization ---------------------------------------------
+
+
+class DiscoveryError(ReproError):
+    """A topic or broker discovery operation failed."""
+
+
+class UnauthorizedError(ReproError):
+    """An entity attempted an action it is not authorized to perform."""
+
+
+class TokenError(UnauthorizedError):
+    """An authorization token is missing, malformed, expired, or forged."""
+
+
+class RegistrationError(ReproError):
+    """Traced-entity registration with a broker failed verification."""
+
+
+class InterestError(ReproError):
+    """The GUAGE_INTEREST protocol produced an invalid response."""

@@ -1,0 +1,37 @@
+"""NaradaBrokering-style publish/subscribe substrate.
+
+A distributed network of cooperating broker nodes routes messages by topic:
+producers and consumers never interact directly (section 2).  This package
+provides topic syntax and matching, the constrained-topic scheme of section
+3.1, the message envelope, broker nodes, the broker network fabric, and the
+broker discovery service of Ref [3].
+"""
+
+from repro.messaging.topics import Topic, topic_matches, validate_topic, TopicValidationError
+from repro.messaging.constrained import (
+    AllowedActions,
+    ConstrainedTopic,
+    Distribution,
+    is_constrained,
+)
+from repro.messaging.message import Message
+from repro.messaging.broker import Broker
+from repro.messaging.client import BrokerClient
+from repro.messaging.broker_network import BrokerNetwork
+from repro.messaging.discovery import BrokerDiscoveryService
+
+__all__ = [
+    "Topic",
+    "topic_matches",
+    "validate_topic",
+    "TopicValidationError",
+    "ConstrainedTopic",
+    "AllowedActions",
+    "Distribution",
+    "is_constrained",
+    "Message",
+    "Broker",
+    "BrokerClient",
+    "BrokerNetwork",
+    "BrokerDiscoveryService",
+]

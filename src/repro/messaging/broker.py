@@ -1,0 +1,449 @@
+"""The broker node: subscription management, enforcement, and routing.
+
+A broker performs the routing function: when it receives a message from a
+producer it delivers to interested local consumers and forwards to other
+brokers that have interested consumers (section 2).  This implementation
+additionally enforces:
+
+* constrained-topic action rules (section 3.1),
+* pluggable publish guards — the authorization layer installs a guard that
+  discards constrained trace messages lacking a valid authorization token
+  (section 4.3),
+* denial-of-service defenses: repeated violations terminate communications
+  with the offending entity (section 5.2).
+
+Broker-to-broker forwarding wraps the message in a :class:`RoutedFrame`
+carrying the explicit destination set, split by next hop at every broker:
+deterministic shortest-path multicast with no duplicates or loops.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Callable, Generator, Iterable, Protocol
+
+from repro.errors import NotConnectedError, RoutingError, UnauthorizedError
+from repro.messaging.constrained import ConstrainedTopic, is_constrained
+from repro.messaging.message import Message
+from repro.messaging.topics import Topic, topic_matches
+from repro.sim.engine import Event, Simulator
+from repro.sim.machine import Machine
+from repro.sim.monitor import Monitor
+from repro.transport.link import Link
+
+#: Violations tolerated before the broker terminates communications.
+DEFAULT_VIOLATION_LIMIT = 3
+
+#: Broker per-message processing overhead (queueing, matching, bookkeeping).
+DEFAULT_PROCESSING_MS = 2.9
+
+#: Broker CPU cost of handing one message to one local subscriber.
+DEFAULT_PER_DELIVERY_MS = 0.09
+
+LocalHandler = Callable[[Message], None]
+
+
+class PublishGuard(Protocol):
+    """Broker-side admission check run for every routed message.
+
+    Implementations are generator functions so they can charge CPU time for
+    verification work.  Returning False discards the message and records a
+    violation against its origin.
+    """
+
+    def __call__(
+        self, broker: "Broker", message: Message, origin: str, from_neighbor: bool
+    ) -> Generator[Event, None, bool]: ...
+
+
+@dataclass(frozen=True, slots=True)
+class RoutedFrame:
+    """Broker-to-broker envelope: a message plus remaining destinations."""
+
+    message: Message
+    destinations: tuple[str, ...]
+
+    def wire_dict(self) -> dict:
+        frame = self.message.wire_dict()
+        frame["destinations"] = list(self.destinations)
+        return frame
+
+
+class Broker:
+    """One cooperating router node of the broker network."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        broker_id: str,
+        machine: Machine,
+        monitor: Monitor | None = None,
+        processing_ms: float = DEFAULT_PROCESSING_MS,
+        per_delivery_ms: float = DEFAULT_PER_DELIVERY_MS,
+        violation_limit: int = DEFAULT_VIOLATION_LIMIT,
+    ) -> None:
+        self.sim = sim
+        self.broker_id = broker_id
+        self.machine = machine
+        self.monitor = monitor or Monitor()
+        self.processing_ms = processing_ms
+        self.per_delivery_ms = per_delivery_ms
+        self.violation_limit = violation_limit
+
+        # fabric wiring (populated by BrokerNetwork)
+        self.neighbor_links: dict[str, Link] = {}
+        self.routing_table: dict[str, str] = {}
+        self._announce: Callable[[str, str], None] | None = None
+        self._retract: Callable[[str, str], None] | None = None
+
+        # subscription state: pattern -> {client_id: True}
+        self._client_subs: dict[str, dict[str, bool]] = defaultdict(dict)
+        self._broker_subs: dict[str, list[LocalHandler]] = defaultdict(list)
+        self._remote_interest: dict[str, set[str]] = defaultdict(set)
+
+        # client connections: client_id -> outbound link to that client
+        self._client_links: dict[str, Link] = {}
+
+        # enforcement
+        self.publish_guards: list[PublishGuard] = []
+        self._violations: dict[str, int] = defaultdict(int)
+        self._blacklist: set[str] = set()
+
+        # failure model: a failed broker drops everything it receives
+        self.failed = False
+
+    # ------------------------------------------------------------------ wiring
+
+    def attach_neighbor(self, broker_id: str, link: Link) -> None:
+        self.neighbor_links[broker_id] = link
+
+    def set_routing_table(self, table: dict[str, str]) -> None:
+        self.routing_table = dict(table)
+
+    def set_interest_announcer(
+        self,
+        announce: Callable[[str, str], None],
+        retract: Callable[[str, str], None] | None = None,
+    ) -> None:
+        """Callbacks the fabric provides to flood/retract subscription interest."""
+        self._announce = announce
+        self._retract = retract
+
+    def attach_client(self, client_id: str, link_to_client: Link) -> None:
+        self._client_links[client_id] = link_to_client
+
+    def detach_client(self, client_id: str) -> None:
+        self._client_links.pop(client_id, None)
+        for pattern in list(self._client_subs):
+            self._client_subs[pattern].pop(client_id, None)
+            if not self._client_subs[pattern]:
+                del self._client_subs[pattern]
+
+    @property
+    def client_ids(self) -> list[str]:
+        return sorted(self._client_links)
+
+    # ----------------------------------------------------------- subscriptions
+
+    def add_client_subscription(self, client_id: str, pattern: str) -> None:
+        """Register a client subscription, enforcing constrained rules.
+
+        Delivery happens over the client's link (attached at connect time);
+        the subscription table only records who is interested.
+        """
+        if client_id in self._blacklist:
+            raise UnauthorizedError(f"{client_id!r} is blacklisted")
+        if client_id not in self._client_links:
+            raise NotConnectedError(f"{client_id!r} is not connected to {self.broker_id!r}")
+        Topic.parse(pattern, allow_wildcards=True)
+        if is_constrained(pattern):
+            constrained = ConstrainedTopic.parse(pattern)
+            if not constrained.may_subscribe(client_id, is_broker=False):
+                self._record_violation(client_id, f"subscribe to {pattern}")
+                raise UnauthorizedError(
+                    f"{client_id!r} may not subscribe to constrained topic {pattern!r}"
+                )
+        self._client_subs[pattern][client_id] = True
+        self.monitor.increment("subscriptions.client")
+        self._propagate_interest(pattern, suppressed=False)
+
+    def remove_client_subscription(self, client_id: str, pattern: str) -> None:
+        subs = self._client_subs.get(pattern)
+        if subs:
+            subs.pop(client_id, None)
+            if not subs:
+                del self._client_subs[pattern]
+                self._maybe_retract_interest(pattern)
+
+    def subscribe_local(self, pattern: str, handler: LocalHandler) -> None:
+        """The broker's own subscription (e.g. to a session topic).
+
+        Constrained ``Suppress``/``Limited`` distribution keeps the
+        subscription from propagating to other brokers — the hosting broker
+        alone consumes traffic on such topics (section 3.1).
+        """
+        Topic.parse(pattern, allow_wildcards=True)
+        suppressed = False
+        if is_constrained(pattern):
+            constrained = ConstrainedTopic.parse(pattern)
+            if not constrained.may_subscribe(self.broker_id, is_broker=True):
+                raise UnauthorizedError(
+                    f"broker {self.broker_id!r} may not subscribe to {pattern!r}"
+                )
+            suppressed = constrained.suppressed()
+        self._broker_subs[pattern].append(handler)
+        self.monitor.increment("subscriptions.broker")
+        self._propagate_interest(pattern, suppressed=suppressed)
+
+    def unsubscribe_local(self, pattern: str, handler: LocalHandler) -> None:
+        handlers = self._broker_subs.get(pattern)
+        if handlers and handler in handlers:
+            handlers.remove(handler)
+            if not handlers:
+                del self._broker_subs[pattern]
+                self._maybe_retract_interest(pattern)
+
+    def _maybe_retract_interest(self, pattern: str) -> None:
+        """Tell the fabric nobody here wants ``pattern`` anymore.
+
+        Called when the last local subscription (client or broker) for a
+        pattern disappears; peers stop forwarding matching traffic to us.
+        """
+        if pattern in self._client_subs or pattern in self._broker_subs:
+            return
+        if self._retract is not None:
+            self._retract(pattern, self.broker_id)
+            self.monitor.increment("control.interest_retractions")
+
+    def _propagate_interest(self, pattern: str, suppressed: bool) -> None:
+        if suppressed or self._announce is None:
+            return
+        self._announce(pattern, self.broker_id)
+        self.monitor.increment("control.interest_announcements")
+
+    def note_remote_interest(self, pattern: str, broker_id: str) -> None:
+        """The fabric records that ``broker_id`` has subscribers for ``pattern``."""
+        if broker_id != self.broker_id:
+            self._remote_interest[pattern].add(broker_id)
+
+    def drop_remote_interest(self, pattern: str, broker_id: str) -> None:
+        self._remote_interest.get(pattern, set()).discard(broker_id)
+
+    # ------------------------------------------------------------------ ingress
+
+    def receive_from_client(self, client_id: str, message: Message) -> None:
+        """Link-delivery callback for messages a connected client published."""
+        if self.failed:
+            self.monitor.increment("messages.dropped_broker_failed")
+            return
+        if client_id in self._blacklist:
+            self.monitor.increment("dos.dropped_blacklisted")
+            return
+        self.sim.process(
+            self._ingress(message, origin=client_id, from_neighbor=False),
+            name=f"{self.broker_id}.ingress",
+        )
+
+    def receive_from_neighbor(self, neighbor_id: str, frame: RoutedFrame) -> None:
+        """Link-delivery callback for broker-to-broker frames."""
+        if self.failed:
+            self.monitor.increment("messages.dropped_broker_failed")
+            return
+        self.sim.process(
+            self._neighbor_ingress(neighbor_id, frame),
+            name=f"{self.broker_id}.fwd",
+        )
+
+    def publish_from_broker(self, message: Message) -> None:
+        """The broker itself publishes (trace generation, section 3.3)."""
+        self.sim.process(
+            self._ingress(message, origin=self.broker_id, from_neighbor=False, self_origin=True),
+            name=f"{self.broker_id}.selfpub",
+        )
+
+    # -------------------------------------------------------------- processing
+
+    def _ingress(
+        self,
+        message: Message,
+        origin: str,
+        from_neighbor: bool,
+        self_origin: bool = False,
+    ) -> Generator[Event, None, None]:
+        yield from self.machine.compute(self.processing_ms)
+        self.monitor.increment("messages.received")
+
+        constrained: ConstrainedTopic | None = None
+        if is_constrained(message.topic.canonical):
+            constrained = ConstrainedTopic.parse(message.topic.canonical)
+            publisher = self.broker_id if self_origin else origin
+            if not constrained.may_publish(publisher, is_broker=self_origin):
+                self._record_violation(origin, f"publish on {message.topic}")
+                self.monitor.increment("messages.rejected_constrained")
+                return
+
+        for guard in self.publish_guards:
+            ok = yield from guard(self, message, origin, from_neighbor)
+            if not ok:
+                self._record_violation(origin, f"guard rejected {message.topic}")
+                self.monitor.increment("messages.rejected_guard")
+                return
+
+        yield from self._dispatch(message, constrained, origin, self_origin)
+
+    def _neighbor_ingress(
+        self, neighbor_id: str, frame: RoutedFrame
+    ) -> Generator[Event, None, None]:
+        message = frame.message
+        yield from self.machine.compute(self.processing_ms)
+        self.monitor.increment("messages.forwarded_in")
+
+        for guard in self.publish_guards:
+            ok = yield from guard(self, message, neighbor_id, True)
+            if not ok:
+                self.monitor.increment("messages.rejected_guard")
+                return
+
+        if self.broker_id in frame.destinations:
+            yield from self._deliver_local(message)
+        remaining = tuple(d for d in frame.destinations if d != self.broker_id)
+        if remaining:
+            self._forward(message.with_hop(), remaining, exclude_neighbor=neighbor_id)
+
+    def _dispatch(
+        self,
+        message: Message,
+        constrained: ConstrainedTopic | None,
+        origin: str,
+        self_origin: bool,
+    ) -> Generator[Event, None, None]:
+        yield from self._deliver_local(message, exclude_client=None if self_origin else origin)
+
+        # Publish suppression: the constrainer's publications stay local.
+        if constrained is not None and constrained.suppressed():
+            publisher = self.broker_id if self_origin else origin
+            if constrained._is_constrainer(publisher, is_broker=self_origin):
+                self.monitor.increment("messages.suppressed")
+                return
+
+        destinations = self._interested_brokers(message.topic.canonical)
+        if destinations:
+            self._forward(message.with_hop(), tuple(sorted(destinations)), exclude_neighbor=None)
+
+    def _interested_brokers(self, topic: str) -> set[str]:
+        interested: set[str] = set()
+        for pattern, brokers in self._remote_interest.items():
+            if brokers and topic_matches(pattern, topic):
+                interested |= brokers
+        interested.discard(self.broker_id)
+        return interested
+
+    def _forward(
+        self,
+        message: Message,
+        destinations: tuple[str, ...],
+        exclude_neighbor: str | None,
+    ) -> None:
+        by_next_hop: dict[str, list[str]] = defaultdict(list)
+        for dest in destinations:
+            next_hop = self.routing_table.get(dest)
+            if next_hop is None:
+                # destination currently unreachable (failed broker or
+                # partition): drop that leg, deliver the rest
+                self.monitor.increment("messages.unroutable")
+                continue
+            by_next_hop[next_hop].append(dest)
+        for next_hop, dests in sorted(by_next_hop.items()):
+            if next_hop == exclude_neighbor:
+                # shortest-path split never routes back where it came from;
+                # guard against pathological topology changes mid-flight
+                continue
+            link = self.neighbor_links.get(next_hop)
+            if link is None:
+                raise RoutingError(
+                    f"{self.broker_id!r} has no link to next hop {next_hop!r}"
+                )
+            link.send(RoutedFrame(message, tuple(sorted(dests))))
+            self.monitor.increment("messages.forwarded_out")
+
+    def _deliver_local(
+        self, message: Message, exclude_client: str | None = None
+    ) -> Generator[Event, None, None]:
+        topic = message.topic.canonical
+
+        for pattern, handlers in list(self._broker_subs.items()):
+            if topic_matches(pattern, topic):
+                for handler in list(handlers):
+                    yield from self.machine.compute(self.per_delivery_ms)
+                    handler(message)
+                    self.monitor.increment("messages.delivered_broker_local")
+
+        for pattern, subscribers in list(self._client_subs.items()):
+            if not topic_matches(pattern, topic):
+                continue
+            # delivery order is arbitrary in a real broker (hash order);
+            # shuffling avoids privileging any subscriber in the fan-out
+            ordered = sorted(subscribers)
+            self.machine.rng.shuffle(ordered)
+            for client_id in ordered:
+                if client_id == exclude_client:
+                    continue
+                link = self._client_links.get(client_id)
+                if link is None:
+                    continue
+                yield from self.machine.compute(self.per_delivery_ms)
+                link.send(message)
+                self.monitor.increment("messages.delivered_client")
+
+    # ------------------------------------------------------------------- DoS
+
+    def _record_violation(self, principal: str, what: str) -> None:
+        self._violations[principal] += 1
+        self.monitor.increment("dos.violations")
+        self.monitor.log(self.sim.now, "violation", principal=principal, what=what)
+        if (
+            self._violations[principal] >= self.violation_limit
+            and principal in self._client_links
+        ):
+            self.terminate_client(principal)
+
+    def terminate_client(self, client_id: str) -> None:
+        """Terminate communications with a malicious entity (section 5.2)."""
+        self._blacklist.add(client_id)
+        self.detach_client(client_id)
+        self.monitor.increment("dos.terminated")
+        self.monitor.log(self.sim.now, "terminated", principal=client_id)
+
+    def is_blacklisted(self, client_id: str) -> bool:
+        return client_id in self._blacklist
+
+    def violation_count(self, principal: str) -> int:
+        return self._violations.get(principal, 0)
+
+    # ------------------------------------------------------------------ misc
+
+    def local_subscriber_count(self, topic: str) -> int:
+        """How many local client subscriptions match ``topic``."""
+        count = 0
+        for pattern, subscribers in self._client_subs.items():
+            if topic_matches(pattern, topic):
+                count += len(subscribers)
+        return count
+
+    def has_any_subscriber(self, topic: str) -> bool:
+        """Anyone (local client, broker handler, or remote broker) interested?"""
+        if self.local_subscriber_count(topic) > 0:
+            return True
+        for pattern in self._broker_subs:
+            if topic_matches(pattern, topic):
+                return True
+        return bool(self._interested_brokers(topic))
+
+    def __repr__(self) -> str:
+        return f"<Broker {self.broker_id}>"
+
+
+def iter_matching_patterns(patterns: Iterable[str], topic: str) -> list[str]:
+    """Utility for tests: which of ``patterns`` match ``topic``."""
+    return [p for p in patterns if topic_matches(p, topic)]

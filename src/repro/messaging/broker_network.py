@@ -1,0 +1,266 @@
+"""The broker-network fabric: machines, brokers, links, and routing.
+
+One :class:`BrokerNetwork` owns a simulation's topology.  It creates
+machines (with independent RNG streams, calibrated crypto cost models and
+NTP-skewed clocks), brokers on those machines, inter-broker links with a
+chosen transport profile, and client connections.  Subscription interest is
+flooded through the fabric's control plane: every broker learns which peers
+have subscribers for which patterns (counted, but charged no data-plane
+latency — brokers exchange subscription state continuously in the real
+system, off the critical path of trace routing).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from repro.crypto.costmodel import CryptoCostModel, CryptoOp, OpCost, PAPER_CALIBRATION
+from repro.errors import ConfigurationError, RoutingError
+from repro.messaging.broker import Broker, RoutedFrame
+from repro.messaging.client import BrokerClient
+from repro.messaging.routing import all_next_hops, hop_distance
+from repro.sim.engine import Simulator
+from repro.sim.machine import Machine
+from repro.sim.monitor import Monitor
+from repro.sim.random import RandomStreams
+from repro.transport.base import TransportProfile
+from repro.transport.link import Link
+from repro.transport.tcp import TCP_CLUSTER
+from repro.util.clock import NTPSkewModel, SkewedClock
+
+
+class BrokerNetwork:
+    """Builder and registry for one simulated deployment."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        seed: int = 0,
+        monitor: Monitor | None = None,
+        default_profile: TransportProfile = TCP_CLUSTER,
+        cost_calibration: Mapping[CryptoOp, OpCost] | None = None,
+        cost_scale: float = 1.0,
+        ntp_model: NTPSkewModel | None = None,
+    ) -> None:
+        self.sim = sim
+        self.streams = RandomStreams(seed)
+        self.monitor = monitor or Monitor()
+        self.default_profile = default_profile
+        self._cost_calibration = dict(cost_calibration or PAPER_CALIBRATION)
+        self._cost_scale = cost_scale
+        self._ntp_model = ntp_model
+
+        self._machines: dict[str, Machine] = {}
+        self._brokers: dict[str, Broker] = {}
+        self._adjacency: dict[str, set[str]] = {}
+        self._clients: dict[str, BrokerClient] = {}
+
+    # ---------------------------------------------------------------- machines
+
+    def machine(self, name: str, cpu_capacity: int | None = None) -> Machine:
+        """Get-or-create the machine called ``name``.
+
+        ``cpu_capacity`` applies only on creation (default 4, the paper's
+        Xeon hosts); pass a lower value to model a more contended host.
+        """
+        if name not in self._machines:
+            cost_model = CryptoCostModel(
+                calibration=self._cost_calibration,
+                seed=self.streams.derive_seed(f"cost.{name}"),
+                scale=self._cost_scale,
+            )
+            if self._ntp_model is not None:
+                clock = self._ntp_model.clock_for_node(self.sim.clock)
+            else:
+                clock = SkewedClock(self.sim.clock, 0.0)
+            kwargs = {}
+            if cpu_capacity is not None:
+                kwargs["cpu_capacity"] = cpu_capacity
+            self._machines[name] = Machine(
+                sim=self.sim,
+                name=name,
+                cost_model=cost_model,
+                rng=self.streams.stream(f"machine.{name}"),
+                clock=clock,
+                **kwargs,
+            )
+        return self._machines[name]
+
+    def machines(self) -> list[Machine]:
+        return [self._machines[k] for k in sorted(self._machines)]
+
+    # ----------------------------------------------------------------- brokers
+
+    def add_broker(
+        self,
+        broker_id: str,
+        machine_name: str | None = None,
+        processing_ms: float | None = None,
+    ) -> Broker:
+        """Create a broker; by default it gets its own machine."""
+        if broker_id in self._brokers:
+            raise ConfigurationError(f"duplicate broker id {broker_id!r}")
+        machine = self.machine(machine_name or f"machine-{broker_id}")
+        kwargs = {}
+        if processing_ms is not None:
+            kwargs["processing_ms"] = processing_ms
+        broker = Broker(
+            sim=self.sim,
+            broker_id=broker_id,
+            machine=machine,
+            monitor=self.monitor,
+            **kwargs,
+        )
+        broker.set_interest_announcer(self._announce_interest, self._retract_interest)
+        self._brokers[broker_id] = broker
+        self._adjacency[broker_id] = set()
+        self._recompute_routes()
+        return broker
+
+    def broker(self, broker_id: str) -> Broker:
+        try:
+            return self._brokers[broker_id]
+        except KeyError:
+            raise RoutingError(f"unknown broker {broker_id!r}") from None
+
+    def brokers(self) -> list[Broker]:
+        return [self._brokers[k] for k in sorted(self._brokers)]
+
+    def connect_brokers(
+        self, a: str, b: str, profile: TransportProfile | None = None
+    ) -> None:
+        """Create a duplex link between two brokers and refresh routing."""
+        if a == b:
+            raise ConfigurationError("cannot link a broker to itself")
+        broker_a, broker_b = self.broker(a), self.broker(b)
+        prof = profile or self.default_profile
+        rng = self.streams.stream(f"link.{min(a, b)}.{max(a, b)}")
+
+        link_ab = Link(
+            self.sim, prof,
+            receiver=lambda frame: broker_b.receive_from_neighbor(a, frame),
+            rng=rng, name=f"{a}->{b}", monitor=self.monitor,
+        )
+        link_ba = Link(
+            self.sim, prof,
+            receiver=lambda frame: broker_a.receive_from_neighbor(b, frame),
+            rng=rng, name=f"{b}->{a}", monitor=self.monitor,
+        )
+        broker_a.attach_neighbor(b, link_ab)
+        broker_b.attach_neighbor(a, link_ba)
+        self._adjacency[a].add(b)
+        self._adjacency[b].add(a)
+        self._recompute_routes()
+
+    def build_chain(
+        self, broker_ids: Iterable[str], profile: TransportProfile | None = None
+    ) -> list[Broker]:
+        """Convenience: a linear chain (the paper's Figure 1 topology)."""
+        ids = list(broker_ids)
+        brokers = [
+            self._brokers.get(bid) or self.add_broker(bid) for bid in ids
+        ]
+        for left, right in zip(ids, ids[1:]):
+            self.connect_brokers(left, right, profile)
+        return brokers
+
+    def hop_distance(self, a: str, b: str) -> int:
+        return hop_distance(self._adjacency, a, b)
+
+    def _recompute_routes(self) -> None:
+        tables = all_next_hops(self._adjacency)
+        for broker_id, table in tables.items():
+            self._brokers[broker_id].set_routing_table(table)
+
+    # ------------------------------------------------------------------ clients
+
+    def add_client(
+        self, client_id: str, machine_name: str | None = None
+    ) -> BrokerClient:
+        if client_id in self._clients:
+            raise ConfigurationError(f"duplicate client id {client_id!r}")
+        machine = self.machine(machine_name or f"machine-{client_id}")
+        client = BrokerClient(
+            sim=self.sim, client_id=client_id, machine=machine, monitor=self.monitor
+        )
+        self._clients[client_id] = client
+        return client
+
+    def client(self, client_id: str) -> BrokerClient:
+        return self._clients[client_id]
+
+    def remove_client(self, client_id: str) -> None:
+        """Forget a client so its id can be reused (e.g. after migration)."""
+        client = self._clients.pop(client_id, None)
+        if client is not None and client.connected:
+            client.disconnect()
+
+    def connect_client(
+        self,
+        client: BrokerClient | str,
+        broker_id: str,
+        profile: TransportProfile | None = None,
+    ) -> BrokerClient:
+        """Wire a client to a broker with a duplex link."""
+        if isinstance(client, str):
+            client = self._clients[client]
+        broker = self.broker(broker_id)
+        prof = profile or self.default_profile
+        rng = self.streams.stream(f"clientlink.{client.client_id}")
+
+        to_broker = Link(
+            self.sim, prof,
+            receiver=lambda msg, c=client.client_id: broker.receive_from_client(c, msg),
+            rng=rng, name=f"{client.client_id}->{broker_id}", monitor=self.monitor,
+        )
+        to_client = Link(
+            self.sim, prof,
+            receiver=client._receive,
+            rng=rng, name=f"{broker_id}->{client.client_id}", monitor=self.monitor,
+        )
+        broker.attach_client(client.client_id, to_client)
+        client.attach(broker, to_broker)
+        return client
+
+    # ------------------------------------------------------------ failures
+
+    def fail_broker(self, broker_id: str) -> None:
+        """Take a broker down: it drops traffic and routing steers around it.
+
+        Clients connected to it receive nothing further; they are expected
+        to discover a live broker and re-register (section 3.2 / Ref [3]).
+        """
+        broker = self.broker(broker_id)
+        broker.failed = True
+        for neighbor in list(self._adjacency[broker_id]):
+            self._adjacency[neighbor].discard(broker_id)
+        self._adjacency[broker_id] = set()
+        self._recompute_routes()
+
+    def recover_broker(self, broker_id: str, neighbors: Iterable[str] = ()) -> None:
+        """Bring a failed broker back, reattaching the given neighbor links."""
+        broker = self.broker(broker_id)
+        broker.failed = False
+        for neighbor in neighbors:
+            # links still exist physically; just restore the adjacency
+            if neighbor in broker.neighbor_links:
+                self._adjacency[broker_id].add(neighbor)
+                self._adjacency[neighbor].add(broker_id)
+        self._recompute_routes()
+
+    # ------------------------------------------------------------ control plane
+
+    def _announce_interest(self, pattern: str, broker_id: str) -> None:
+        """Flood subscription interest to every broker (control plane)."""
+        for other in self._brokers.values():
+            other.note_remote_interest(pattern, broker_id)
+        self.monitor.increment("control.floods")
+
+    def _retract_interest(self, pattern: str, broker_id: str) -> None:
+        """Flood an interest retraction (last subscriber gone)."""
+        for other in self._brokers.values():
+            other.drop_remote_interest(pattern, broker_id)
+        self.monitor.increment("control.retractions")
+
+    def route_of(self, message_frame: RoutedFrame) -> tuple[str, ...]:
+        return message_frame.destinations

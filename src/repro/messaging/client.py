@@ -1,0 +1,132 @@
+"""Client-side connection of an entity to its broker.
+
+An entity is connected to one broker and uses it to funnel messages to the
+broker network (section 2).  The client object holds the entity's half of
+the duplex link, tracks its subscriptions, and dispatches delivered
+messages to local handlers.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Callable
+
+from repro.errors import NotConnectedError
+from repro.messaging.broker import Broker
+from repro.messaging.message import Message
+from repro.messaging.topics import Topic, topic_matches
+from repro.sim.engine import Simulator
+from repro.sim.machine import Machine
+from repro.sim.monitor import Monitor
+from repro.transport.link import Link
+
+Handler = Callable[[Message], None]
+
+
+class BrokerClient:
+    """One entity's connection endpoint.
+
+    Wiring (links in both directions) is performed by
+    :meth:`repro.messaging.broker_network.BrokerNetwork.connect_client`.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        client_id: str,
+        machine: Machine,
+        monitor: Monitor | None = None,
+    ) -> None:
+        self.sim = sim
+        self.client_id = client_id
+        self.machine = machine
+        self.monitor = monitor or Monitor()
+        self._broker: Broker | None = None
+        self._link_to_broker: Link | None = None
+        self._handlers: dict[str, list[Handler]] = defaultdict(list)
+
+    # ----------------------------------------------------------------- wiring
+
+    def attach(self, broker: Broker, link_to_broker: Link) -> None:
+        self._broker = broker
+        self._link_to_broker = link_to_broker
+
+    @property
+    def connected(self) -> bool:
+        return self._broker is not None
+
+    @property
+    def broker(self) -> Broker:
+        if self._broker is None:
+            raise NotConnectedError(f"{self.client_id!r} is not connected")
+        return self._broker
+
+    def disconnect(self) -> None:
+        if self._broker is not None:
+            self._broker.detach_client(self.client_id)
+        self._broker = None
+        self._link_to_broker = None
+
+    # ------------------------------------------------------------- pub/sub API
+
+    def publish(
+        self,
+        topic: str | Topic,
+        body: Any,
+        signature: dict | None = None,
+        auth_token: dict | None = None,
+        encrypted: bool = False,
+    ) -> Message:
+        """Publish a message; it travels the client link to the broker."""
+        if self._link_to_broker is None:
+            raise NotConnectedError(f"{self.client_id!r} is not connected")
+        parsed = topic if isinstance(topic, Topic) else Topic.parse(topic)
+        message = Message(
+            topic=parsed,
+            body=body,
+            source=self.client_id,
+            created_ms=self.machine.now(),
+            signature=signature,
+            auth_token=auth_token,
+            encrypted=encrypted,
+        )
+        self._link_to_broker.send(message)
+        self.monitor.increment("published")
+        return message
+
+    def subscribe(self, pattern: str | Topic, handler: Handler) -> None:
+        """Subscribe; broker-side validation may raise UnauthorizedError."""
+        text = pattern.canonical if isinstance(pattern, Topic) else pattern
+        self.broker.add_client_subscription(self.client_id, text)
+        self._handlers[text].append(handler)
+
+    def unsubscribe(self, pattern: str | Topic, handler: Handler | None = None) -> None:
+        text = pattern.canonical if isinstance(pattern, Topic) else pattern
+        if handler is None:
+            self._handlers.pop(text, None)
+        else:
+            handlers = self._handlers.get(text)
+            if handlers and handler in handlers:
+                handlers.remove(handler)
+            if not handlers:
+                self._handlers.pop(text, None)
+        if text not in self._handlers:
+            self.broker.remove_client_subscription(self.client_id, text)
+
+    def subscriptions(self) -> list[str]:
+        return sorted(self._handlers)
+
+    # -------------------------------------------------------------- delivery
+
+    def _receive(self, message: Message) -> None:
+        """Delivery callback for the broker-to-client link."""
+        self.monitor.increment("received")
+        topic = message.topic.canonical
+        for pattern, handlers in list(self._handlers.items()):
+            if topic_matches(pattern, topic):
+                for handler in list(handlers):
+                    handler(message)
+
+    def __repr__(self) -> str:
+        broker = self._broker.broker_id if self._broker else None
+        return f"<BrokerClient {self.client_id} @ {broker}>"

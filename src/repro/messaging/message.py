@@ -1,0 +1,63 @@
+"""The message envelope routed by the broker network.
+
+All messages contain topic information, which forms the basis of routing
+(section 2).  The envelope additionally carries the security artifacts the
+tracing scheme attaches: an optional signature envelope (section 4.2), an
+optional authorization token (section 4.3), and an encrypted-body flag
+(section 5.1).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from repro.messaging.topics import Topic
+
+_message_ids = itertools.count(1)
+
+
+@dataclass(frozen=True, slots=True)
+class Message:
+    """One routable message.
+
+    ``body`` is the application payload (canonically encodable, or raw
+    ``bytes`` when encrypted).  ``signature`` holds a serialized
+    :class:`~repro.crypto.signing.SignedEnvelope` dict covering the body;
+    ``auth_token`` holds a serialized authorization token dict.  ``hops``
+    counts broker-to-broker forwards for diagnostics.
+    """
+
+    topic: Topic
+    body: Any
+    source: str
+    message_id: int = field(default_factory=lambda: next(_message_ids))
+    created_ms: float = 0.0
+    signature: dict | None = None
+    auth_token: dict | None = None
+    encrypted: bool = False
+    hops: int = 0
+
+    def wire_dict(self) -> dict:
+        """Canonical rendering used for wire-size accounting."""
+        return {
+            "topic": self.topic.canonical,
+            "body": self.body,
+            "source": self.source,
+            "message_id": self.message_id,
+            "created_ms": self.created_ms,
+            "signature": self.signature,
+            "auth_token": self.auth_token,
+            "encrypted": self.encrypted,
+        }
+
+    def with_hop(self) -> "Message":
+        """Copy with the hop counter incremented (broker forward)."""
+        return replace(self, hops=self.hops + 1)
+
+    def describe(self) -> str:
+        return (
+            f"Message(id={self.message_id}, topic={self.topic}, "
+            f"source={self.source!r}, hops={self.hops})"
+        )

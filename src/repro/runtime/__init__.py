@@ -1,0 +1,13 @@
+"""Live execution of the protocol stack.
+
+The protocol implementation is transport- and clock-agnostic: everything
+runs against the discrete-event :class:`~repro.sim.engine.Simulator`.  The
+:class:`~repro.runtime.realtime.RealTimeDriver` paces that simulator
+against the wall clock (optionally time-compressed), so the same brokers,
+entities and trackers can be watched live — used by the
+``examples/live_dashboard.py`` demo.
+"""
+
+from repro.runtime.realtime import RealTimeDriver
+
+__all__ = ["RealTimeDriver"]

@@ -1,0 +1,100 @@
+"""Pacing a discrete-event simulation against the wall clock.
+
+The driver pops simulator events in order, but before executing an event
+it sleeps until the event's virtual timestamp (divided by ``speed``) has
+elapsed on the wall clock.  With ``speed=1.0`` one virtual millisecond is
+one real millisecond; with ``speed=60`` a one-minute scenario plays back
+in one second.  Both a synchronous (``time.sleep``) and an asyncio
+(``await``) interface are provided.
+
+If the host falls behind (an event's wall deadline is already past), the
+driver executes immediately and carries on — virtual causality is never
+affected, only playback smoothness.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Callable
+
+from repro.errors import ConfigurationError
+from repro.sim.engine import Simulator
+
+
+class RealTimeDriver:
+    """Plays a simulator's event stream in (scaled) real time."""
+
+    def __init__(self, sim: Simulator, speed: float = 1.0) -> None:
+        if speed <= 0:
+            raise ConfigurationError(f"speed must be positive, got {speed}")
+        self.sim = sim
+        self.speed = speed
+        self._wall_start: float | None = None
+        self._virtual_start = 0.0
+        self.on_tick: Callable[[float], None] | None = None
+
+    # ------------------------------------------------------------------ shared
+
+    def _arm(self) -> None:
+        if self._wall_start is None:
+            self._wall_start = time.monotonic()
+            self._virtual_start = self.sim.now
+
+    def _wall_deadline(self, virtual_ms: float) -> float:
+        """Wall-clock time at which ``virtual_ms`` should execute."""
+        assert self._wall_start is not None
+        return self._wall_start + (virtual_ms - self._virtual_start) / (
+            1000.0 * self.speed
+        )
+
+    def _next_event_time(self) -> float | None:
+        heap = self.sim._heap
+        return heap[0][0] if heap else None
+
+    # -------------------------------------------------------------- synchronous
+
+    def run(self, until: float | None = None) -> None:
+        """Blocking playback until the heap drains or ``until`` (virtual ms)."""
+        self._arm()
+        while True:
+            when = self._next_event_time()
+            if when is None or (until is not None and when > until):
+                break
+            delay = self._wall_deadline(when) - time.monotonic()
+            if delay > 0:
+                time.sleep(delay)
+            self.sim.step()
+            if self.on_tick is not None:
+                self.on_tick(self.sim.now)
+        if until is not None and self.sim.now < until:
+            self.sim.clock.advance_to(until)
+
+    # ------------------------------------------------------------------ asyncio
+
+    async def run_async(self, until: float | None = None) -> None:
+        """Cooperative playback; other asyncio tasks run while waiting."""
+        self._arm()
+        while True:
+            when = self._next_event_time()
+            if when is None or (until is not None and when > until):
+                break
+            delay = self._wall_deadline(when) - time.monotonic()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            else:
+                # yield control even when behind schedule
+                await asyncio.sleep(0)
+            self.sim.step()
+            if self.on_tick is not None:
+                self.on_tick(self.sim.now)
+        if until is not None and self.sim.now < until:
+            self.sim.clock.advance_to(until)
+
+    @property
+    def lag_ms(self) -> float:
+        """How far wall-clock playback is behind schedule (0 if ahead)."""
+        if self._wall_start is None:
+            return 0.0
+        behind = time.monotonic() - self._wall_deadline(self.sim.now)
+        return max(0.0, behind * 1000.0 * self.speed)

@@ -1,0 +1,22 @@
+"""Security (section 5): confidentiality, key distribution, DoS defenses.
+
+* :mod:`repro.security.confidentiality` — wrapping/unwrapping of trace
+  bodies under the session's secret trace key.
+* :mod:`repro.security.keydist` — the secure trace-key distribution
+  payload built for each authorized tracker.
+* :mod:`repro.security.dos` — attacker models used by tests and the DoS
+  example: spurious trace injection and direct-attack surface analysis.
+* :mod:`repro.security.symmetric_opt` — helpers for the section 6.3
+  signing-cost optimization (symmetric entity-broker channel).
+"""
+
+from repro.security.confidentiality import wrap_trace_body, unwrap_trace_body
+from repro.security.keydist import KeyDistributionPayload, build_key_payload, open_key_payload
+
+__all__ = [
+    "wrap_trace_body",
+    "unwrap_trace_body",
+    "KeyDistributionPayload",
+    "build_key_payload",
+    "open_key_payload",
+]

@@ -1,0 +1,50 @@
+"""Trace confidentiality (section 5.1).
+
+"All trace messages, published by the broker, are encrypted using the
+secret trace key.  Only the trackers in possession of the trace key can
+decipher the contents of the trace messages."
+
+The wrap keeps the trace *type* and routing-relevant fields outside the
+ciphertext (topics already reveal the stream), and encrypts the payload
+and timing fields.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any
+
+from repro.crypto.keys import SymmetricKey
+from repro.errors import DecryptionError
+from repro.util.serialization import canonical_decode, canonical_encode
+
+
+def wrap_trace_body(
+    body: dict, trace_key: SymmetricKey, rng: random.Random
+) -> dict:
+    """Encrypt a trace body under the session's secret trace key."""
+    ciphertext = trace_key.encrypt(canonical_encode(body), rng)
+    return {
+        "secured": True,
+        "trace_topic": body.get("trace_topic"),
+        "ciphertext": ciphertext,
+    }
+
+
+def unwrap_trace_body(wrapped: dict, trace_key: SymmetricKey) -> dict:
+    """Decrypt a wrapped trace body; raises :class:`DecryptionError`."""
+    if not isinstance(wrapped, dict) or not wrapped.get("secured"):
+        raise DecryptionError("body is not a secured trace")
+    ciphertext = wrapped.get("ciphertext")
+    if not isinstance(ciphertext, (bytes, bytearray)):
+        raise DecryptionError("secured trace has no ciphertext")
+    plaintext = trace_key.decrypt(bytes(ciphertext))
+    try:
+        body: Any = canonical_decode(plaintext)
+    except ValueError as exc:
+        # corruption in a non-final block survives the padding check but
+        # yields garbage plaintext
+        raise DecryptionError("secured trace decrypted to garbage") from exc
+    if not isinstance(body, dict):
+        raise DecryptionError("secured trace decrypted to a non-dict")
+    return body

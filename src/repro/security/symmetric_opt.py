@@ -1,0 +1,54 @@
+"""The signing-cost optimization (section 6.3).
+
+"Instead of signing every trace message that it generates, the entity
+simply encrypts it with its symmetric key.  Since only the entity and the
+broker are in possession of this secret key the broker accepts messages
+encrypted with this key as having originated by the entity in question.
+... the encryption/decryption costs are cheaper than the corresponding
+signing/verification cost."
+
+The mechanism itself lives in :class:`~repro.tracing.entity.TracedEntity`
+(``use_symmetric_channel=True``) and the broker's
+:meth:`~repro.tracing.broker_ops.TraceManager._authenticate_entity_message`.
+This module provides the analytic cost comparison the Figure 5 benchmark
+reports alongside measured values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.costmodel import CryptoCostModel, CryptoOp
+
+
+@dataclass(frozen=True, slots=True)
+class ChannelCostComparison:
+    """Mean per-message entity-to-broker authentication costs (ms)."""
+
+    signing_entity_ms: float
+    signing_broker_ms: float
+    symmetric_entity_ms: float
+    symmetric_broker_ms: float
+
+    @property
+    def signing_total_ms(self) -> float:
+        return self.signing_entity_ms + self.signing_broker_ms
+
+    @property
+    def symmetric_total_ms(self) -> float:
+        return self.symmetric_entity_ms + self.symmetric_broker_ms
+
+    @property
+    def savings_ms(self) -> float:
+        """Expected end-to-end saving per traced-entity message."""
+        return self.signing_total_ms - self.symmetric_total_ms
+
+
+def predicted_savings(cost_model: CryptoCostModel) -> ChannelCostComparison:
+    """Analytic prediction of the section-6.3 optimization's effect."""
+    return ChannelCostComparison(
+        signing_entity_ms=cost_model.mean_ms(CryptoOp.TRACE_SIGN),
+        signing_broker_ms=cost_model.mean_ms(CryptoOp.TRACE_VERIFY),
+        symmetric_entity_ms=cost_model.mean_ms(CryptoOp.TRACE_ENCRYPT),
+        symmetric_broker_ms=cost_model.mean_ms(CryptoOp.TRACE_DECRYPT),
+    )

@@ -1,0 +1,137 @@
+"""Measurement capture for simulations.
+
+A :class:`Monitor` owns named time series and counters; protocol components
+record into it and benchmark harnesses read summaries out of it.  Keeping
+measurement separate from protocol logic means the tracing code contains no
+benchmark-specific branches.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.util.stats import RunningStats, StatSummary
+
+
+@dataclass(slots=True)
+class Series:
+    """A named sequence of (time_ms, value) observations."""
+
+    name: str
+    times: list[float] = field(default_factory=list)
+    values: list[float] = field(default_factory=list)
+
+    def record(self, time_ms: float, value: float) -> None:
+        self.times.append(time_ms)
+        self.values.append(value)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def summary(self) -> StatSummary:
+        rs = RunningStats()
+        rs.extend(self.values)
+        return rs.summary()
+
+    def last(self) -> float:
+        if not self.values:
+            raise ValueError(f"series {self.name!r} is empty")
+        return self.values[-1]
+
+
+class Monitor:
+    """Collection of series, counters and event logs for one simulation."""
+
+    def __init__(self) -> None:
+        self._series: dict[str, Series] = {}
+        self._counters: dict[str, int] = defaultdict(int)
+        self._events: list[tuple[float, str, dict]] = []
+
+    # -- series ---------------------------------------------------------------
+
+    def series(self, name: str) -> Series:
+        """Get-or-create the series called ``name``."""
+        if name not in self._series:
+            self._series[name] = Series(name)
+        return self._series[name]
+
+    def record(self, name: str, time_ms: float, value: float) -> None:
+        self.series(name).record(time_ms, value)
+
+    def has_series(self, name: str) -> bool:
+        return name in self._series and len(self._series[name]) > 0
+
+    def series_names(self) -> list[str]:
+        return sorted(self._series)
+
+    def summary(self, name: str) -> StatSummary:
+        if name not in self._series:
+            raise KeyError(f"no series named {name!r}")
+        return self._series[name].summary()
+
+    # -- counters --------------------------------------------------------------
+
+    def increment(self, name: str, by: int = 1) -> None:
+        self._counters[name] += by
+
+    def count(self, name: str) -> int:
+        return self._counters.get(name, 0)
+
+    def counters(self) -> dict[str, int]:
+        return dict(self._counters)
+
+    # -- event log ---------------------------------------------------------------
+
+    def log(self, time_ms: float, kind: str, **details) -> None:
+        self._events.append((time_ms, kind, details))
+
+    def events(self, kind: str | None = None) -> list[tuple[float, str, dict]]:
+        if kind is None:
+            return list(self._events)
+        return [e for e in self._events if e[1] == kind]
+
+    # -- export ------------------------------------------------------------------
+
+    def to_dict(self, include_samples: bool = False) -> dict:
+        """JSON-serializable snapshot of counters, series and events.
+
+        By default each series exports its summary statistics only; with
+        ``include_samples`` the raw (time, value) points are included too.
+        """
+        series_out: dict[str, dict] = {}
+        for name, series in self._series.items():
+            if not len(series):
+                continue
+            summary = series.summary()
+            entry: dict = {
+                "count": summary.count,
+                "mean": summary.mean,
+                "std_dev": summary.std_dev,
+                "std_error": summary.std_error,
+                "min": summary.minimum,
+                "max": summary.maximum,
+            }
+            if include_samples:
+                entry["times"] = list(series.times)
+                entry["values"] = list(series.values)
+            series_out[name] = entry
+        return {
+            "counters": dict(self._counters),
+            "series": series_out,
+            "events": [
+                {"time_ms": t, "kind": kind, "details": details}
+                for t, kind, details in self._events
+            ],
+        }
+
+    def to_json(self, include_samples: bool = False, indent: int = 2) -> str:
+        """The :meth:`to_dict` snapshot rendered as JSON text."""
+        import json
+
+        return json.dumps(
+            self.to_dict(include_samples=include_samples),
+            indent=indent,
+            sort_keys=True,
+            default=str,
+        )

@@ -1,0 +1,356 @@
+"""TDN nodes and the replicated TDN cluster.
+
+"Since a given topic advertisement will be stored at multiple TDN nodes,
+this scheme sustains the loss of TDN nodes due to failures or downtimes"
+(section 2.2).  The cluster shares one UUID generator stream so topic
+uniqueness holds across nodes, replicates every advertisement to all live
+peers, and routes discovery around failed nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.crypto.certificates import CertificateAuthority
+from repro.crypto.costmodel import CryptoOp
+from repro.crypto.keys import KeyPair
+from repro.crypto.signing import SignedEnvelope, sign_payload, verify_payload
+from repro.errors import (
+    CertificateError,
+    DiscoveryError,
+    RegistrationError,
+    SignatureError,
+)
+from repro.sim.engine import Event, Simulator
+from repro.sim.machine import Machine
+from repro.sim.monitor import Monitor
+from repro.tdn.advertisement import (
+    TopicAdvertisement,
+    TopicCreationRequest,
+    TopicLifetime,
+)
+from repro.tdn.query import DiscoveryQuery
+from repro.tdn.registry import AdvertisementStore
+from repro.util.identifiers import UUIDGenerator
+
+
+class TDNNode:
+    """One Topic Discovery Node."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str,
+        machine: Machine,
+        trust_anchor: CertificateAuthority,
+        uuid_generator: UUIDGenerator,
+        monitor: Monitor | None = None,
+        service_delay_ms: float = 3.0,
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.machine = machine
+        self.trust_anchor = trust_anchor
+        self.monitor = monitor or Monitor()
+        self.service_delay_ms = service_delay_ms
+        self._uuids = uuid_generator
+        self._keys = KeyPair.generate(machine.rng)
+        self.certificate = trust_anchor.issue(name, self._keys.public)
+        self.store = AdvertisementStore()
+        self.failed = False
+        self._peers: list["TDNNode"] = []
+        self.replication_delay_ms = 2.0
+
+    def set_peers(self, peers: list["TDNNode"]) -> None:
+        self._peers = [p for p in peers if p is not self]
+
+    # ------------------------------------------------------------ failure model
+
+    def fail(self) -> None:
+        """Take this node down; it drops all requests until recovery."""
+        self.failed = True
+
+    def recover(self) -> None:
+        self.failed = False
+
+    # ------------------------------------------------------------ topic creation
+
+    def create_topic(
+        self, request: TopicCreationRequest, signature: SignedEnvelope
+    ) -> Generator[Event, None, TopicAdvertisement]:
+        """Mint a trace topic for a verified creation request.
+
+        Process body.  Verifies the requester's credentials against the
+        trust anchor and the request signature against the credential's
+        public key; on success generates the UUID *at the TDN* (so no
+        entity can claim another's topic), signs the advertisement, stores
+        it, and replicates to live peers.
+        """
+        if self.failed:
+            raise DiscoveryError(f"TDN {self.name!r} is down")
+        yield self.sim.timeout(self.service_delay_ms)
+        now = self.machine.now()
+
+        try:
+            self.trust_anchor.verify(request.credentials, now_ms=now)
+        except CertificateError as exc:
+            raise RegistrationError(f"bad credentials: {exc}") from exc
+        yield from self.machine.charge(CryptoOp.CERT_VERIFY)
+
+        if signature.payload != request.signing_payload():
+            raise RegistrationError("signature covers a different request")
+        try:
+            verify_payload(signature, request.credentials.public_key)
+        except SignatureError as exc:
+            raise RegistrationError(f"request signature invalid: {exc}") from exc
+        yield from self.machine.charge(CryptoOp.TRACE_VERIFY)
+
+        trace_topic = self._uuids.next()
+        lifetime = TopicLifetime(created_ms=now, duration_ms=request.lifetime_ms)
+        fields = {
+            "trace_topic": trace_topic.hex,
+            "descriptor": request.descriptor,
+            "owner_subject": request.credentials.subject,
+            "owner_n": request.credentials.public_key.n,
+            "owner_e": request.credentials.public_key.e,
+            "restrictions": request.restrictions.to_dict(),
+            "lifetime": lifetime.to_dict(),
+            "issuing_tdn": self.name,
+        }
+        envelope = sign_payload(fields, self._keys.private)
+        yield from self.machine.charge(CryptoOp.TRACE_SIGN)
+        advertisement = TopicAdvertisement(
+            trace_topic=trace_topic,
+            descriptor=request.descriptor,
+            owner_subject=request.credentials.subject,
+            owner_public_key=request.credentials.public_key,
+            restrictions=request.restrictions,
+            lifetime=lifetime,
+            issuing_tdn=self.name,
+            signature=envelope,
+        )
+        self.store.put(advertisement)
+        self._replicate(advertisement)
+        self.monitor.increment("tdn.topics_created")
+        return advertisement
+
+    def renew_topic(
+        self,
+        advertisement: TopicAdvertisement,
+        signature: SignedEnvelope,
+        additional_lifetime_ms: float,
+    ) -> Generator[Event, None, TopicAdvertisement]:
+        """Extend a topic's lifetime before it expires.
+
+        Only the topic owner can renew: the request signature must verify
+        against the advertisement's owner key, and the advertisement must
+        still be live.  Returns the re-signed advertisement, which also
+        replaces the stored copy cluster-wide.
+        """
+        if self.failed:
+            raise DiscoveryError(f"TDN {self.name!r} is down")
+        if additional_lifetime_ms <= 0:
+            raise RegistrationError("renewal must extend the lifetime")
+        yield self.sim.timeout(self.service_delay_ms)
+        now = self.machine.now()
+
+        stored = self.store.get(advertisement.trace_topic, now)
+        if stored is None:
+            raise RegistrationError("topic unknown or already expired")
+
+        expected_payload = {
+            "renew": stored.trace_topic.hex,
+            "additional_lifetime_ms": additional_lifetime_ms,
+        }
+        if signature.payload != expected_payload:
+            raise RegistrationError("renewal signature covers different fields")
+        yield from self.machine.charge(CryptoOp.TRACE_VERIFY)
+        try:
+            verify_payload(signature, stored.owner_public_key)
+        except SignatureError as exc:
+            raise RegistrationError(f"renewal not signed by owner: {exc}") from exc
+
+        lifetime = TopicLifetime(
+            created_ms=stored.lifetime.created_ms,
+            duration_ms=stored.lifetime.duration_ms + additional_lifetime_ms,
+        )
+        fields = dict(stored.signed_fields())
+        fields["lifetime"] = lifetime.to_dict()
+        fields["issuing_tdn"] = self.name
+        envelope = sign_payload(fields, self._keys.private)
+        yield from self.machine.charge(CryptoOp.TRACE_SIGN)
+        renewed = TopicAdvertisement(
+            trace_topic=stored.trace_topic,
+            descriptor=stored.descriptor,
+            owner_subject=stored.owner_subject,
+            owner_public_key=stored.owner_public_key,
+            restrictions=stored.restrictions,
+            lifetime=lifetime,
+            issuing_tdn=self.name,
+            signature=envelope,
+        )
+        self.store.put(renewed)
+        self._replicate(renewed)
+        self.monitor.increment("tdn.topics_renewed")
+        return renewed
+
+    def _replicate(self, advertisement: TopicAdvertisement) -> None:
+        for peer in self._peers:
+            if peer.failed:
+                continue
+            self.sim.call_later(
+                self.replication_delay_ms,
+                lambda p=peer: p.store.put(advertisement),
+            )
+            self.monitor.increment("tdn.replications")
+
+    # ---------------------------------------------------------------- discovery
+
+    def discover(
+        self, query: DiscoveryQuery, credentials
+    ) -> Generator[Event, None, TopicAdvertisement | None]:
+        """Answer a discovery query, or return None.
+
+        Unauthorized requests get *no response* — the paper's TDN simply
+        ignores them, so the requester cannot distinguish "not authorized"
+        from "no such topic".
+        """
+        if self.failed:
+            raise DiscoveryError(f"TDN {self.name!r} is down")
+        yield self.sim.timeout(self.service_delay_ms)
+        now = self.machine.now()
+        self.monitor.increment("tdn.discovery_requests")
+
+        candidates = self.store.find_matching(query, now)
+        for advertisement in candidates:
+            yield from self.machine.charge(CryptoOp.CERT_VERIFY)
+            if advertisement.restrictions.permits(credentials, self.trust_anchor, now):
+                self.monitor.increment("tdn.discovery_answered")
+                return advertisement
+        self.monitor.increment("tdn.discovery_ignored")
+        return None
+
+    def discover_all(
+        self, query: DiscoveryQuery, credentials
+    ) -> Generator[Event, None, list[TopicAdvertisement]]:
+        """Answer a (possibly wildcard) query with every permitted topic.
+
+        Topics whose restrictions the requester does not satisfy are
+        silently omitted — the requester cannot tell filtered from
+        nonexistent, preserving the single-topic semantics.
+        """
+        if self.failed:
+            raise DiscoveryError(f"TDN {self.name!r} is down")
+        yield self.sim.timeout(self.service_delay_ms)
+        now = self.machine.now()
+        self.monitor.increment("tdn.discovery_requests")
+
+        permitted: list[TopicAdvertisement] = []
+        seen_descriptors: set[str] = set()
+        for advertisement in self.store.find_matching(query, now):
+            if advertisement.descriptor in seen_descriptors:
+                continue  # newest advertisement per descriptor wins
+            yield from self.machine.charge(CryptoOp.CERT_VERIFY)
+            if advertisement.restrictions.permits(credentials, self.trust_anchor, now):
+                permitted.append(advertisement)
+                seen_descriptors.add(advertisement.descriptor)
+        if permitted:
+            self.monitor.increment("tdn.discovery_answered")
+        else:
+            self.monitor.increment("tdn.discovery_ignored")
+        return permitted
+
+    def verify_advertisement(self, advertisement: TopicAdvertisement) -> bool:
+        """Validate a presented advertisement's TDN signature and fields."""
+        if advertisement.signature.payload != advertisement.signed_fields():
+            return False
+        try:
+            verify_payload(advertisement.signature, self._keys.public)
+        except SignatureError:
+            return False
+        return True
+
+
+class TDNCluster:
+    """The replicated set of TDN nodes."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        trust_anchor: CertificateAuthority,
+        machines: list[Machine],
+        monitor: Monitor | None = None,
+        uuid_seed: int = 0,
+    ) -> None:
+        if not machines:
+            raise DiscoveryError("a TDN cluster needs at least one node")
+        self.sim = sim
+        self.monitor = monitor or Monitor()
+        generator = UUIDGenerator(uuid_seed)
+        self.nodes = [
+            TDNNode(
+                sim=sim,
+                name=f"tdn-{i}",
+                machine=machine,
+                trust_anchor=trust_anchor,
+                uuid_generator=generator,
+                monitor=self.monitor,
+            )
+            for i, machine in enumerate(machines)
+        ]
+        for node in self.nodes:
+            node.set_peers(self.nodes)
+
+    def node(self, name: str) -> TDNNode:
+        for node in self.nodes:
+            if node.name == name:
+                return node
+        raise DiscoveryError(f"no TDN named {name!r}")
+
+    def live_nodes(self) -> list[TDNNode]:
+        return [n for n in self.nodes if not n.failed]
+
+    def create_topic(
+        self, request: TopicCreationRequest, signature: SignedEnvelope
+    ) -> Generator[Event, None, TopicAdvertisement]:
+        """Create at the first live node (clients fail over automatically)."""
+        for node in self.nodes:
+            if not node.failed:
+                result = yield from node.create_topic(request, signature)
+                return result
+        raise DiscoveryError("all TDN nodes are down")
+
+    def discover(
+        self, query: DiscoveryQuery, credentials
+    ) -> Generator[Event, None, TopicAdvertisement | None]:
+        """Discover via the first live node."""
+        for node in self.nodes:
+            if not node.failed:
+                result = yield from node.discover(query, credentials)
+                return result
+        raise DiscoveryError("all TDN nodes are down")
+
+    def discover_all(
+        self, query: DiscoveryQuery, credentials
+    ) -> Generator[Event, None, list[TopicAdvertisement]]:
+        """Wildcard discovery via the first live node."""
+        for node in self.nodes:
+            if not node.failed:
+                result = yield from node.discover_all(query, credentials)
+                return result
+        raise DiscoveryError("all TDN nodes are down")
+
+    def renew_topic(
+        self,
+        advertisement: TopicAdvertisement,
+        signature: SignedEnvelope,
+        additional_lifetime_ms: float,
+    ) -> Generator[Event, None, TopicAdvertisement]:
+        """Renew via the first live node."""
+        for node in self.nodes:
+            if not node.failed:
+                result = yield from node.renew_topic(
+                    advertisement, signature, additional_lifetime_ms
+                )
+                return result
+        raise DiscoveryError("all TDN nodes are down")

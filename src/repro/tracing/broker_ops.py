@@ -1,0 +1,786 @@
+"""Broker-side tracing operations (sections 3.2-3.5, 4, 5.1).
+
+The :class:`TraceManager` is the component a broker runs to host traced
+entities: it validates registrations, mints sessions, polls entities with
+adaptively-scheduled pings, detects failures, gauges tracker interest, and
+publishes typed traces over the Table 2 topics — signed with the
+authorization token the entity delegated, encrypted with the secret trace
+key when the entity asked for confidentiality.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.auth.credentials import EntityCredentials
+from repro.auth.tokens import AuthorizationToken
+from repro.crypto.certificates import CertificateAuthority
+from repro.crypto.costmodel import CryptoOp
+from repro.crypto.keys import SymmetricKey
+from repro.crypto.rsa import RSAPrivateKey, RSAPublicKey
+from repro.crypto.signing import (
+    SealedPayload,
+    SignedEnvelope,
+    open_sealed,
+    seal_for,
+    sign_payload,
+    verify_payload,
+)
+from repro.errors import (
+    CertificateError,
+    DecryptionError,
+    RegistrationError,
+    SignatureError,
+)
+from repro.messaging.broker import Broker
+from repro.messaging.message import Message
+from repro.security.confidentiality import wrap_trace_body
+from repro.security.keydist import build_key_payload
+from repro.sim.engine import Event
+from repro.sim.monitor import Monitor
+from repro.tracing.failure import AdaptivePingPolicy, DetectorVerdict, FailureDetector
+from repro.tracing.interest import InterestCategory, InterestRegistry
+from repro.tracing.pings import Ping, PingResponse
+from repro.tracing.registration import (
+    RegistrationError_Response,
+    RegistrationResponse,
+    TraceRegistrationRequest,
+)
+from repro.tracing.session import TraceSession
+from repro.tracing.topics import REGISTRATION_TOPIC, TraceTopicSet
+from repro.tracing.traces import (
+    CHANGE_NOTIFICATION_TYPES,
+    STATE_TRANSITION_TYPES,
+    EntityState,
+    LoadInformation,
+    TraceType,
+)
+from repro.util.identifiers import SessionId, UUIDGenerator
+from repro.util.serialization import canonical_decode
+
+#: Ping responses per derived NETWORK_METRICS trace.
+DEFAULT_METRICS_EVERY = 5
+
+#: How often the broker re-gauges tracker interest.
+DEFAULT_GAUGE_INTERVAL_MS = 60_000.0
+
+
+def category_of(trace_type: TraceType) -> InterestCategory:
+    """Which interest category gates a trace type (Table 2 mapping)."""
+    if trace_type in CHANGE_NOTIFICATION_TYPES:
+        return InterestCategory.CHANGE_NOTIFICATIONS
+    if trace_type in STATE_TRANSITION_TYPES:
+        return InterestCategory.STATE_TRANSITIONS
+    if trace_type is TraceType.ALLS_WELL:
+        return InterestCategory.ALL_UPDATES
+    if trace_type is TraceType.LOAD_INFORMATION:
+        return InterestCategory.LOAD
+    if trace_type is TraceType.NETWORK_METRICS:
+        return InterestCategory.NETWORK_METRICS
+    raise ValueError(f"{trace_type} has no gating category")
+
+
+class TraceManager:
+    """Hosts traced entities on one broker."""
+
+    def __init__(
+        self,
+        broker: Broker,
+        ca: CertificateAuthority,
+        tdn_public_keys: dict[str, RSAPublicKey],
+        monitor: Monitor | None = None,
+        ping_policy: AdaptivePingPolicy | None = None,
+        gauge_interval_ms: float = DEFAULT_GAUGE_INTERVAL_MS,
+        metrics_every: int = DEFAULT_METRICS_EVERY,
+        interest_ttl_ms: float = 120_000.0,
+        detector_factory=FailureDetector,
+        ping_jitter_frac: float = 0.05,
+        gate_by_interest: bool = True,
+    ) -> None:
+        self.broker = broker
+        self.sim = broker.sim
+        self.machine = broker.machine
+        self.ca = ca
+        self.tdn_public_keys = dict(tdn_public_keys)
+        self.monitor = monitor or broker.monitor
+        self.ping_policy = ping_policy or AdaptivePingPolicy()
+        self.gauge_interval_ms = gauge_interval_ms
+        self.metrics_every = metrics_every
+        self.interest_ttl_ms = interest_ttl_ms
+        self.detector_factory = detector_factory
+        self.ping_jitter_frac = ping_jitter_frac
+        # section 3.5 gating; disable only for the EXP-A4 ablation
+        self.gate_by_interest = gate_by_interest
+
+        self.credentials = EntityCredentials.issue(
+            f"broker-cred-{broker.broker_id}", ca, self.machine.rng
+        )
+        self._session_ids = UUIDGenerator(
+            seed=self.machine.rng.getrandbits(64)
+        )
+        self.sessions: dict[str, TraceSession] = {}          # by session hex
+        self.sessions_by_entity: dict[str, TraceSession] = {}
+        self._keyed_trackers: dict[str, set[str]] = {}        # session hex -> trackers
+        self._response_counts: dict[str, int] = {}
+        self._session_queues: dict[str, object] = {}
+
+        self.broker.subscribe_local(
+            REGISTRATION_TOPIC.canonical, self._on_registration_message
+        )
+
+    # ------------------------------------------------------------- registration
+
+    def _on_registration_message(self, message: Message) -> None:
+        self.sim.process(
+            self._handle_registration(message),
+            name=f"{self.broker.broker_id}.register",
+        )
+
+    def _handle_registration(self, message: Message) -> Generator[Event, None, None]:
+        try:
+            request = TraceRegistrationRequest.from_dict(message.body)
+        except RegistrationError:
+            self.monitor.increment("trace.registration_malformed")
+            return
+
+        # Registration is an exchange between an entity and the broker it is
+        # connected to; every broker subscribes to the Registration topic,
+        # but only the hosting broker (the one holding the client link)
+        # processes the request.
+        if str(request.entity_id) not in self.broker.client_ids:
+            self.monitor.increment("trace.registration_not_local")
+            return
+
+        response_topic = TraceTopicSet(
+            request.advertisement.trace_topic, request.entity_id
+        ).registration_response(request.entity_id, request.request_id.value)
+
+        # 1. credentials must verify against the trust anchor
+        yield from self.machine.charge(CryptoOp.CERT_VERIFY)
+        try:
+            self.ca.verify(request.credentials, now_ms=self.machine.now())
+        except CertificateError as exc:
+            yield from self._reject_registration(request, response_topic, str(exc))
+            return
+
+        # 2. proof of possession: the signature must decrypt with the
+        #    entity's public key and match the message digest (section 3.2)
+        yield from self.machine.charge(CryptoOp.TRACE_VERIFY)
+        if request.signature.payload != request.expected_payload():
+            yield from self._reject_registration(
+                request, response_topic, "signature covers different fields"
+            )
+            return
+        try:
+            verify_payload(request.signature, request.credentials.public_key)
+        except SignatureError as exc:
+            yield from self._reject_registration(request, response_topic, str(exc))
+            return
+
+        # 3. the advertisement must be TDN-signed and owned by the requester
+        yield from self.machine.charge(CryptoOp.CERT_VERIFY)
+        advertisement = request.advertisement
+        tdn_key = self.tdn_public_keys.get(advertisement.issuing_tdn)
+        if tdn_key is None:
+            yield from self._reject_registration(
+                request, response_topic, "advertisement from unknown TDN"
+            )
+            return
+        if advertisement.signature.payload != advertisement.signed_fields():
+            yield from self._reject_registration(
+                request, response_topic, "advertisement fields mismatch"
+            )
+            return
+        try:
+            verify_payload(advertisement.signature, tdn_key)
+        except SignatureError:
+            yield from self._reject_registration(
+                request, response_topic, "advertisement signature invalid"
+            )
+            return
+        if advertisement.owner_subject != request.credentials.subject:
+            yield from self._reject_registration(
+                request, response_topic, "trace topic owned by another entity"
+            )
+            return
+        if not advertisement.lifetime.alive_at(self.machine.now()):
+            yield from self._reject_registration(
+                request, response_topic, "trace topic lifetime expired"
+            )
+            return
+
+        # a re-registration supersedes the entity's previous session: the
+        # old ping loop winds down and the new session takes over (this is
+        # how a recovered entity resumes tracing, section 3.2)
+        previous = self.sessions_by_entity.get(str(request.entity_id))
+        if previous is not None and previous.active:
+            previous.active = False
+            self.monitor.increment("trace.sessions_superseded")
+
+        # success: mint a session and wire the topics
+        session_id = SessionId(self._session_ids.next())
+        topics = TraceTopicSet(advertisement.trace_topic, request.entity_id)
+        # interest continuity: trackers that were following the superseded
+        # session are still subscribed (publication topics derive from the
+        # trace topic), so the new session inherits their registrations
+        if previous is not None:
+            interest = previous.interest
+        else:
+            interest = InterestRegistry(ttl_ms=self.interest_ttl_ms)
+        session = TraceSession(
+            entity_id=request.entity_id,
+            session_id=session_id,
+            advertisement=advertisement,
+            topics=topics,
+            started_ms=self.sim.now,
+            ping_policy=self.ping_policy,
+            detector=self.detector_factory(),
+            interest=interest,
+        )
+        key = session_id.value.hex
+        self.sessions[key] = session
+        self.sessions_by_entity[str(request.entity_id)] = session
+        self._keyed_trackers[key] = set()
+        self._response_counts[key] = 0
+
+        # entity messages are handled strictly in arrival order per session
+        # (verification times differ per message kind, so concurrent
+        # handlers could otherwise reorder, e.g. a state report overtaking
+        # the token delivery it depends on)
+        work_queue = self.sim.queue(name=f"session-{key[:8]}")
+        self._session_queues[key] = work_queue
+        self.sim.process(
+            self._session_worker(session, work_queue),
+            name=f"{self.broker.broker_id}.worker.{request.entity_id}",
+        )
+
+        # the broker subscribes to the entity->broker session topic ...
+        self.broker.subscribe_local(
+            topics.entity_to_broker(session_id).canonical,
+            lambda msg, s=session: self._on_entity_message(s, msg),
+        )
+        # ... and to the interest-response topic (section 3.5)
+        self.broker.subscribe_local(
+            topics.interest_response.canonical,
+            lambda msg, s=session: self._on_interest_response(s, msg),
+        )
+
+        # sealed response: only the entity can read the session id
+        yield from self.machine.charge(CryptoOp.SEAL_PAYLOAD)
+        response = RegistrationResponse(
+            request_id=request.request_id,
+            session_id=session_id,
+            broker_id=self.broker.broker_id,
+            broker_public_key_n=self.credentials.public_key.n,
+            broker_public_key_e=self.credentials.public_key.e,
+        )
+        sealed = seal_for(
+            response.to_dict(), request.credentials.public_key, self.machine.rng
+        )
+        self._publish_plain(response_topic.canonical, sealed.to_dict())
+        self.monitor.increment("trace.sessions_created")
+
+    def _reject_registration(
+        self, request: TraceRegistrationRequest, response_topic, reason: str
+    ) -> Generator[Event, None, None]:
+        yield from self.machine.compute(0.1)
+        error = RegistrationError_Response(request.request_id, reason)
+        self._publish_plain(response_topic.canonical, error.to_dict())
+        self.monitor.increment("trace.registrations_rejected")
+        self.monitor.log(self.sim.now, "registration_rejected", reason=reason)
+
+    def _publish_plain(self, topic: str, body: dict) -> None:
+        from repro.messaging.topics import Topic
+
+        message = Message(
+            topic=Topic.parse(topic),
+            body=body,
+            source=self.broker.broker_id,
+            created_ms=self.machine.now(),
+        )
+        self.broker.publish_from_broker(message)
+
+    # --------------------------------------------------------- entity messages
+
+    def _on_entity_message(self, session: TraceSession, message: Message) -> None:
+        queue = self._session_queues.get(session.session_id.value.hex)
+        if queue is None:  # pragma: no cover - sessions always get a worker
+            self.sim.process(
+                self._handle_entity_message(session, message),
+                name=f"{self.broker.broker_id}.entity_msg",
+            )
+            return
+        queue.put(message)
+
+    def _session_worker(self, session: TraceSession, queue) -> None:
+        """FIFO handler loop for one session's entity messages."""
+        while True:
+            message = yield queue.get()
+            yield from self._handle_entity_message(session, message)
+
+    def _handle_entity_message(
+        self, session: TraceSession, message: Message
+    ) -> Generator[Event, None, None]:
+        body = yield from self._authenticate_entity_message(session, message)
+        if body is None:
+            self.monitor.increment("trace.entity_messages_rejected")
+            return
+        kind = body.get("kind")
+        if kind == "ping_response":
+            yield from self._handle_ping_response(session, body)
+        elif kind == "state_transition":
+            yield from self._handle_state_report(session, body)
+        elif kind == "load":
+            yield from self._handle_load_report(session, body)
+        elif kind == "token_delivery":
+            yield from self._handle_token_delivery(session, body)
+        elif kind == "trace_key":
+            yield from self._handle_trace_key(session, body)
+        elif kind == "channel_key":
+            yield from self._handle_channel_key(session, body)
+        elif kind == "disable_tracing":
+            yield from self._handle_disable(session)
+        else:
+            self.monitor.increment("trace.entity_messages_unknown")
+
+    def _authenticate_entity_message(
+        self, session: TraceSession, message: Message
+    ) -> Generator[Event, None, dict | None]:
+        """Verify source and tamper-evidence of an entity-initiated message.
+
+        Two modes: a signature verified against the trace-topic owner's key
+        (section 4.2), or — with the 6.3 optimization — decryption under
+        the shared channel key, whose success is itself proof of origin.
+        """
+        body = message.body
+        if isinstance(body, dict) and body.get("kind") == "sym":
+            if session.channel_key is None:
+                return None
+            yield from self.machine.charge(CryptoOp.TRACE_DECRYPT)
+            try:
+                plaintext = session.channel_key.decrypt(bytes(body["ciphertext"]))
+                decoded = canonical_decode(plaintext)
+            except (DecryptionError, ValueError, KeyError, TypeError):
+                return None
+            return decoded if isinstance(decoded, dict) else None
+
+        if message.signature is None or not isinstance(body, dict):
+            return None
+        yield from self.machine.charge(CryptoOp.TRACE_VERIFY)
+        envelope = SignedEnvelope.from_dict(message.signature)
+        if envelope.payload != body:
+            return None
+        try:
+            verify_payload(envelope, session.advertisement.owner_public_key)
+        except SignatureError:
+            return None
+        return body
+
+    # ------------------------------------------------------------ message kinds
+
+    def _open_sealed_control(
+        self, session: TraceSession, body: dict
+    ) -> Generator[Event, None, dict | None]:
+        yield from self.machine.charge(CryptoOp.OPEN_SEALED)
+        try:
+            sealed = SealedPayload.from_dict(body["sealed"])
+            payload = open_sealed(sealed, self.credentials.keys.private)
+        except (DecryptionError, KeyError, TypeError, ValueError):
+            self.monitor.increment("trace.sealed_control_rejected")
+            return None
+        return payload if isinstance(payload, dict) else None
+
+    def _handle_token_delivery(
+        self, session: TraceSession, body: dict
+    ) -> Generator[Event, None, None]:
+        payload = yield from self._open_sealed_control(session, body)
+        if payload is None:
+            return
+        try:
+            token = AuthorizationToken.from_dict(payload["token"])
+            private = payload["token_private"]
+            token_private = RSAPrivateKey(
+                n=int(private["n"]), e=int(private["e"]), d=int(private["d"]),
+                p=int(private["p"]), q=int(private["q"]),
+                d_p=int(private["d_p"]), d_q=int(private["d_q"]),
+                q_inv=int(private["q_inv"]),
+            )
+        except (KeyError, TypeError, ValueError):
+            self.monitor.increment("trace.token_delivery_malformed")
+            return
+        first_token = session.token is None
+        session.token = token
+        session.token_private_key = token_private
+        self.monitor.increment("trace.tokens_received")
+        if first_token:
+            # the very first registration triggers the JOIN trace and the
+            # ping + gauge loops (section 3.3, 3.5)
+            yield from self.publish_trace(
+                session, TraceType.JOIN, {"entity_id": str(session.entity_id)},
+                force=True,
+            )
+            self.sim.process(
+                self._ping_loop(session),
+                name=f"{self.broker.broker_id}.ping.{session.entity_id}",
+            )
+            self.sim.process(
+                self._gauge_loop(session),
+                name=f"{self.broker.broker_id}.gauge.{session.entity_id}",
+            )
+
+    def _handle_trace_key(
+        self, session: TraceSession, body: dict
+    ) -> Generator[Event, None, None]:
+        payload = yield from self._open_sealed_control(session, body)
+        if payload is None:
+            return
+        try:
+            session.trace_key = SymmetricKey.from_dict(payload)
+        except (KeyError, TypeError, ValueError):
+            self.monitor.increment("trace.trace_key_malformed")
+            return
+        self.monitor.increment("trace.trace_keys_received")
+
+    def _handle_channel_key(
+        self, session: TraceSession, body: dict
+    ) -> Generator[Event, None, None]:
+        payload = yield from self._open_sealed_control(session, body)
+        if payload is None:
+            return
+        try:
+            session.channel_key = SymmetricKey.from_dict(payload)
+        except (KeyError, TypeError, ValueError):
+            self.monitor.increment("trace.channel_key_malformed")
+            return
+        self.monitor.increment("trace.channel_keys_received")
+
+    def _handle_ping_response(
+        self, session: TraceSession, body: dict
+    ) -> Generator[Event, None, None]:
+        try:
+            response = PingResponse.from_dict(body)
+        except (KeyError, TypeError, ValueError):
+            self.monitor.increment("trace.ping_responses_malformed")
+            return
+        matched = session.history.record_response(response, self.machine.now())
+        if not matched:
+            self.monitor.increment("trace.ping_responses_unmatched")
+            return
+        self.monitor.increment("trace.ping_responses")
+
+        # a response clears suspicion
+        if session.suspicion_announced and session.detector.verdict is not DetectorVerdict.FAILED:
+            session.suspicion_announced = False
+
+        yield from self.publish_trace(
+            session,
+            TraceType.ALLS_WELL,
+            {
+                "ping_number": response.number,
+                "rtt_ms": self.machine.now() - response.issued_ms,
+            },
+            origin_stamp_ms=response.entity_stamp_ms,
+        )
+
+        key = session.session_id.value.hex
+        self._response_counts[key] = self._response_counts.get(key, 0) + 1
+        if self._response_counts[key] % self.metrics_every == 0:
+            metrics = session.history.network_metrics(
+                self.machine.now(), self.ping_policy.response_deadline_ms
+            )
+            if metrics is not None:
+                yield from self.publish_trace(
+                    session, TraceType.NETWORK_METRICS, metrics.to_dict()
+                )
+
+    def _handle_state_report(
+        self, session: TraceSession, body: dict
+    ) -> Generator[Event, None, None]:
+        try:
+            state = EntityState(body["state"])
+        except (KeyError, ValueError):
+            self.monitor.increment("trace.state_reports_malformed")
+            return
+        session.entity_state = state
+        yield from self.publish_trace(
+            session,
+            TraceType.for_state(state),
+            {"state": state.value},
+            origin_stamp_ms=body.get("stamp_ms"),
+        )
+        if state is EntityState.SHUTDOWN:
+            session.active = False
+
+    def _handle_load_report(
+        self, session: TraceSession, body: dict
+    ) -> Generator[Event, None, None]:
+        try:
+            load = LoadInformation.from_dict(body["load"])
+        except (KeyError, TypeError, ValueError):
+            self.monitor.increment("trace.load_reports_malformed")
+            return
+        yield from self.publish_trace(
+            session,
+            TraceType.LOAD_INFORMATION,
+            load.to_dict(),
+            origin_stamp_ms=body.get("stamp_ms"),
+        )
+
+    def _handle_disable(self, session: TraceSession) -> Generator[Event, None, None]:
+        session.active = False
+        yield from self.publish_trace(
+            session,
+            TraceType.REVERTING_TO_SILENT_MODE,
+            {"entity_id": str(session.entity_id)},
+            force=True,
+        )
+
+    def handle_client_disconnect(self, entity_id: str) -> None:
+        """Announce a dropped entity connection with a DISCONNECT trace."""
+        session = self.sessions_by_entity.get(entity_id)
+        if session is None or not session.active:
+            return
+        session.active = False
+        self.sim.process(
+            self.publish_trace(
+                session, TraceType.DISCONNECT, {"entity_id": entity_id}, force=True
+            ),
+            name=f"{self.broker.broker_id}.disconnect",
+        )
+
+    # ------------------------------------------------------------------ pinging
+
+    def _ping_loop(self, session: TraceSession) -> Generator[Event, None, None]:
+        """Poll the entity until shutdown, silent mode, or declared failure."""
+        deadline = self.ping_policy.response_deadline_ms
+        # random initial phase: colocated sessions must not ping in lockstep
+        # (their registration times are often harmonically related)
+        if self.ping_jitter_frac:
+            yield self.sim.timeout(
+                self.machine.rng.uniform(0.0, session.current_interval_ms)
+            )
+        while session.active and not session.declared_failed:
+            ping = Ping(
+                number=session.next_ping_number(), issued_ms=self.machine.now()
+            )
+            session.history.record_ping(ping)
+            self._publish_plain(
+                session.topics.broker_to_entity(session.session_id).canonical,
+                ping.to_dict(),
+            )
+            self.monitor.increment("trace.pings_sent")
+
+            # wait until this ping can be judged, but never longer than the
+            # ping interval itself (a deadline above the interval must not
+            # slow the cadence; young in-flight pings are simply skipped by
+            # the miss counter)
+            judge_wait = min(deadline, session.current_interval_ms)
+            yield self.sim.timeout(judge_wait)
+            if not session.active:
+                break
+            now = self.machine.now()
+            misses = session.history.consecutive_misses(now, deadline)
+            verdict = session.detector.judge(misses)
+
+            if verdict is DetectorVerdict.SUSPECT and not session.suspicion_announced:
+                session.suspicion_announced = True
+                yield from self.publish_trace(
+                    session,
+                    TraceType.FAILURE_SUSPICION,
+                    {"entity_id": str(session.entity_id), "missed_pings": misses},
+                )
+                self.monitor.log(
+                    self.sim.now, "failure_suspicion", entity=str(session.entity_id)
+                )
+            elif verdict is DetectorVerdict.FAILED:
+                session.declared_failed = True
+                session.active = False
+                yield from self.publish_trace(
+                    session,
+                    TraceType.FAILED,
+                    {"entity_id": str(session.entity_id), "missed_pings": misses},
+                )
+                self.monitor.log(
+                    self.sim.now, "failure_declared", entity=str(session.entity_id)
+                )
+                break
+
+            session.current_interval_ms = self.ping_policy.next_interval_ms(
+                session.current_interval_ms,
+                session.history,
+                session.active_duration_ms(now),
+                now,
+            )
+            remaining = max(0.0, session.current_interval_ms - judge_wait)
+            if remaining:
+                # real schedulers drift: a few percent of timer jitter also
+                # keeps colocated sessions from phase-locking their bursts
+                if self.ping_jitter_frac:
+                    remaining *= 1.0 + self.machine.rng.uniform(
+                        -self.ping_jitter_frac, self.ping_jitter_frac
+                    )
+                yield self.sim.timeout(remaining)
+
+    # ----------------------------------------------------------- interest (3.5)
+
+    def _gauge_loop(self, session: TraceSession) -> Generator[Event, None, None]:
+        while session.active and not session.declared_failed:
+            yield from self.gauge_interest(session)
+            yield self.sim.timeout(self.gauge_interval_ms)
+
+    def gauge_interest(self, session: TraceSession) -> Generator[Event, None, None]:
+        """Publish one GUAGE_INTEREST request (token attached, §5.1 flag)."""
+        yield from self.publish_trace(
+            session,
+            TraceType.GUAGE_INTEREST,
+            {"secured": session.secured, "entity_id": str(session.entity_id)},
+            force=True,
+        )
+
+    def _on_interest_response(self, session: TraceSession, message: Message) -> None:
+        self.sim.process(
+            self._handle_interest_response(session, message),
+            name=f"{self.broker.broker_id}.interest",
+        )
+
+    def _handle_interest_response(
+        self, session: TraceSession, message: Message
+    ) -> Generator[Event, None, None]:
+        body = message.body
+        if not isinstance(body, dict):
+            return
+        if message.signature is None:
+            self.monitor.increment("trace.interest_unsigned")
+            return
+        yield from self.machine.charge(CryptoOp.TRACE_VERIFY)
+        envelope = SignedEnvelope.from_dict(message.signature)
+        if envelope.payload != body:
+            self.monitor.increment("trace.interest_tampered")
+            return
+        try:
+            cred = body["credentials"]
+            tracker_key = RSAPublicKey(int(cred["n"]), int(cred["e"]))
+            verify_payload(envelope, tracker_key)
+        except (KeyError, TypeError, ValueError, SignatureError):
+            self.monitor.increment("trace.interest_bad_signature")
+            return
+        try:
+            from repro.tracing.interest import InterestCategory as IC
+
+            categories = frozenset(IC(c) for c in body["categories"])
+            tracker_id = str(body["tracker_id"])
+        except (KeyError, TypeError, ValueError):
+            self.monitor.increment("trace.interest_malformed")
+            return
+
+        session.interest.record(
+            tracker_id,
+            categories,
+            self.machine.now(),
+            response_topic=body.get("response_topic"),
+            credential_subject=str(cred.get("subject", "")),
+        )
+        self.monitor.increment("trace.interest_recorded")
+
+        # secured sessions: distribute the trace key once per tracker (§5.1)
+        key = session.session_id.value.hex
+        if (
+            session.secured
+            and session.trace_key is not None
+            and tracker_id not in self._keyed_trackers.get(key, set())
+            and body.get("response_topic")
+        ):
+            self._keyed_trackers.setdefault(key, set()).add(tracker_id)
+            yield from self._distribute_trace_key(
+                session, tracker_id, tracker_key, str(body["response_topic"])
+            )
+
+    def _distribute_trace_key(
+        self,
+        session: TraceSession,
+        tracker_id: str,
+        tracker_key: RSAPublicKey,
+        response_topic: str,
+    ) -> Generator[Event, None, None]:
+        yield from self.machine.charge(CryptoOp.CERT_VERIFY)
+        yield from self.machine.charge(CryptoOp.SEAL_PAYLOAD)
+        payload = build_key_payload(
+            session.trace_key,
+            session.advertisement.trace_topic.hex,
+            tracker_key,
+            self.machine.rng,
+        )
+        self._publish_plain(response_topic, payload.to_dict())
+        self.monitor.increment("trace.keys_distributed")
+
+    # --------------------------------------------------------------- publication
+
+    def publish_trace(
+        self,
+        session: TraceSession,
+        trace_type: TraceType,
+        payload: dict,
+        origin_stamp_ms: float | None = None,
+        force: bool = False,
+    ) -> Generator[Event, None, None]:
+        """Sign (and optionally encrypt) one trace and publish it.
+
+        ``force`` bypasses interest gating for bootstrap/lifecycle traces
+        (JOIN, GUAGE_INTEREST, DISCONNECT, REVERTING_TO_SILENT_MODE).
+        """
+        if session.token is None or session.token_private_key is None:
+            self.monitor.increment("trace.publish_without_token")
+            return
+        now = self.machine.now()
+        if session.token.expired(now):
+            self.monitor.increment("trace.token_expired")
+            return
+        if not force and self.gate_by_interest:
+            category = category_of(trace_type)
+            if not session.interest.interested_in(category, now):
+                self.monitor.increment("trace.suppressed_no_interest")
+                return
+
+        body = {
+            "trace_type": trace_type.value,
+            "entity_id": str(session.entity_id),
+            "trace_topic": session.advertisement.trace_topic.hex,
+            "session": session.session_id.value.hex,
+            "seq": session.next_trace_seq(),
+            "payload": payload,
+            "origin_stamp_ms": origin_stamp_ms,
+            "broker_stamp_ms": now,
+        }
+
+        secured = session.secured and trace_type is not TraceType.GUAGE_INTEREST
+        if secured:
+            yield from self.machine.charge(CryptoOp.SECURE_WRAP)
+            body = wrap_trace_body(body, session.trace_key, self.machine.rng)
+            yield from self.machine.charge(CryptoOp.TRACE_SIGN_ENCRYPTED)
+        else:
+            yield from self.machine.charge(CryptoOp.TRACE_SIGN)
+        envelope = sign_payload(body, session.token_private_key)
+
+        from repro.messaging.topics import Topic
+
+        topic = session.topics.topic_for_trace(trace_type)
+        message = Message(
+            topic=Topic.parse(topic.canonical),
+            body=body,
+            source=self.broker.broker_id,
+            created_ms=now,
+            signature=envelope.to_dict(),
+            auth_token=session.token.to_dict(),
+            encrypted=secured,
+        )
+        self.broker.publish_from_broker(message)
+        self.monitor.increment(f"trace.published.{trace_type.value}")
+        self.monitor.increment("trace.published_total")
+
+    # ------------------------------------------------------------------- lookup
+
+    def session_of(self, entity_id: str) -> TraceSession | None:
+        return self.sessions_by_entity.get(entity_id)
+
+    def active_sessions(self) -> list[TraceSession]:
+        return [s for s in self.sessions.values() if s.active]

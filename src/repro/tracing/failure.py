@@ -1,0 +1,133 @@
+"""Adaptive ping scheduling and failure detection (section 3.3).
+
+"An entity is pinged based on whether the ping interval has elapsed.
+Depending on the history of the past pings and the duration for which a
+traced entity has been active, this ping interval is varied.  If
+consecutive pings do not have responses associated with them, the ping
+interval is reduced to hasten the failure detection of the entity."
+
+"If a ping response is not received for a set of successive pings ... a
+FAILURE_SUSPICION trace is reported.  Lack of responses ... for additional
+pings ... is taken as a sign that the traced entity has failed, and a
+FAILED trace is issued."
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.tracing.pings import PingHistory
+
+
+@dataclass(frozen=True, slots=True)
+class AdaptivePingPolicy:
+    """How the ping interval evolves with observed behaviour.
+
+    * A stable entity (no losses in the window, active longer than
+      ``maturity_ms``) earns a longer interval, up to ``max_interval_ms``.
+    * Any missed response shrinks the interval by ``shrink_factor`` per
+      trailing miss, down to ``min_interval_ms``, hastening detection.
+    """
+
+    base_interval_ms: float = 1000.0
+    min_interval_ms: float = 125.0
+    max_interval_ms: float = 8000.0
+    growth_factor: float = 1.25
+    shrink_factor: float = 0.5
+    maturity_ms: float = 30_000.0
+    response_deadline_ms: float = 400.0
+
+    def __post_init__(self) -> None:
+        if not (0 < self.min_interval_ms <= self.base_interval_ms <= self.max_interval_ms):
+            raise ConfigurationError("require min <= base <= max interval")
+        if self.growth_factor < 1.0:
+            raise ConfigurationError("growth_factor must be >= 1")
+        if not 0.0 < self.shrink_factor < 1.0:
+            raise ConfigurationError("shrink_factor must be in (0, 1)")
+
+    def next_interval_ms(
+        self,
+        current_interval_ms: float,
+        history: PingHistory,
+        active_duration_ms: float,
+        now_ms: float,
+    ) -> float:
+        """The interval to use for the next ping."""
+        misses = history.consecutive_misses(now_ms, self.response_deadline_ms)
+        if misses > 0:
+            shrunk = current_interval_ms * (self.shrink_factor ** misses)
+            return max(self.min_interval_ms, shrunk)
+        if (
+            active_duration_ms >= self.maturity_ms
+            and history.loss_rate(now_ms, self.response_deadline_ms) == 0.0
+            and len(history) >= history.window
+        ):
+            return min(self.max_interval_ms, current_interval_ms * self.growth_factor)
+        # young or mildly lossy entity: drift back toward the base interval
+        if current_interval_ms < self.base_interval_ms:
+            return min(self.base_interval_ms, current_interval_ms / self.shrink_factor)
+        return current_interval_ms
+
+
+class DetectorVerdict(enum.Enum):
+    """Failure-detector output after each judged ping."""
+
+    ALIVE = "alive"
+    SUSPECT = "suspect"
+    FAILED = "failed"
+
+
+@dataclass(slots=True)
+class FailureDetector:
+    """Escalating miss-count detector.
+
+    ``suspicion_threshold`` consecutive unanswered pings raise suspicion;
+    ``failure_threshold`` consecutive misses declare failure.  Any response
+    resets to ALIVE (entities can come back from suspicion, not from
+    declared failure — a recovered entity re-registers, section 3.2).
+    """
+
+    suspicion_threshold: int = 3
+    failure_threshold: int = 6
+    _verdict: DetectorVerdict = DetectorVerdict.ALIVE
+
+    def __post_init__(self) -> None:
+        from repro.tracing.pings import PING_HISTORY_WINDOW
+
+        if not (0 < self.suspicion_threshold < self.failure_threshold):
+            raise ConfigurationError(
+                "require 0 < suspicion_threshold < failure_threshold"
+            )
+        if self.failure_threshold > PING_HISTORY_WINDOW:
+            # the miss counter is computed over the last-10-pings window
+            # (section 3.3), so a larger threshold could never be reached
+            raise ConfigurationError(
+                f"failure_threshold {self.failure_threshold} exceeds the "
+                f"ping-history window ({PING_HISTORY_WINDOW}) and would "
+                "never fire"
+            )
+
+    @property
+    def verdict(self) -> DetectorVerdict:
+        return self._verdict
+
+    def judge(self, consecutive_misses: int) -> DetectorVerdict:
+        """Update the verdict from the current trailing-miss count.
+
+        Monotone towards failure: once FAILED, the verdict stays FAILED.
+        """
+        if self._verdict is DetectorVerdict.FAILED:
+            return self._verdict
+        if consecutive_misses >= self.failure_threshold:
+            self._verdict = DetectorVerdict.FAILED
+        elif consecutive_misses >= self.suspicion_threshold:
+            self._verdict = DetectorVerdict.SUSPECT
+        else:
+            self._verdict = DetectorVerdict.ALIVE
+        return self._verdict
+
+    def reset(self) -> None:
+        """Fresh detector for a re-registered entity."""
+        self._verdict = DetectorVerdict.ALIVE

@@ -1,0 +1,186 @@
+"""Pings, ping responses and the broker's ping history (section 3.3).
+
+"The ping message issued by a broker contains a monotonically increasing
+message number and the timestamp at which it was issued.  A ping response
+must include both. The message number allows a broker to keep track of
+message losses and out-of-order delivery, while the timestamp allows the
+broker to compute network latencies."
+
+"For every traced entity, a broker maintains ... the response times (and
+loss rates) associated with the last 10 pings."
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.tracing.traces import NetworkMetrics
+
+#: Window size of the broker's per-entity ping history.
+PING_HISTORY_WINDOW = 10
+
+
+@dataclass(frozen=True, slots=True)
+class Ping:
+    """Broker-to-entity ping."""
+
+    number: int
+    issued_ms: float
+
+    def to_dict(self) -> dict:
+        return {"kind": "ping", "number": self.number, "issued_ms": self.issued_ms}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Ping":
+        return cls(number=int(data["number"]), issued_ms=float(data["issued_ms"]))
+
+
+@dataclass(frozen=True, slots=True)
+class PingResponse:
+    """Entity-to-broker response echoing number and timestamp.
+
+    ``entity_stamp_ms`` is the entity's local send time — opaque to the
+    broker (clocks differ) but copied into derived traces so a colocated
+    tracker can compute end-to-end latency without clock synchronization,
+    exactly the measurement setup of section 6.1.
+    """
+
+    number: int
+    issued_ms: float
+    entity_stamp_ms: float
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": "ping_response",
+            "number": self.number,
+            "issued_ms": self.issued_ms,
+            "entity_stamp_ms": self.entity_stamp_ms,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PingResponse":
+        return cls(
+            number=int(data["number"]),
+            issued_ms=float(data["issued_ms"]),
+            entity_stamp_ms=float(data["entity_stamp_ms"]),
+        )
+
+    def matches(self, ping: Ping) -> bool:
+        return self.number == ping.number and self.issued_ms == ping.issued_ms
+
+
+@dataclass(slots=True)
+class _PingRecord:
+    number: int
+    issued_ms: float
+    response_ms: float | None = None  # broker receive time
+
+    @property
+    def answered(self) -> bool:
+        return self.response_ms is not None
+
+    @property
+    def rtt_ms(self) -> float | None:
+        if self.response_ms is None:
+            return None
+        return self.response_ms - self.issued_ms
+
+
+@dataclass(slots=True)
+class PingHistory:
+    """Sliding window over the last N pings issued to one entity."""
+
+    window: int = PING_HISTORY_WINDOW
+    _records: deque = field(default_factory=deque)
+    _highest_response_number: int = -1
+    _out_of_order: int = 0
+    _responses: int = 0
+    last_ping_ms: float | None = None
+
+    def record_ping(self, ping: Ping) -> None:
+        self._records.append(_PingRecord(ping.number, ping.issued_ms))
+        while len(self._records) > self.window:
+            self._records.popleft()
+        self.last_ping_ms = ping.issued_ms
+
+    def record_response(self, response: PingResponse, received_ms: float) -> bool:
+        """Mark the matching ping answered; returns False for unmatched.
+
+        Also tracks out-of-order arrivals: a response whose number is below
+        the highest number already answered arrived out of order.
+        """
+        self._responses += 1
+        if response.number < self._highest_response_number:
+            self._out_of_order += 1
+        else:
+            self._highest_response_number = response.number
+        for record in self._records:
+            if record.number == response.number and not record.answered:
+                record.response_ms = received_ms
+                return True
+        return False
+
+    # -- windowed statistics -------------------------------------------------------
+
+    def consecutive_misses(self, now_ms: float, deadline_ms: float) -> int:
+        """Trailing unanswered pings whose response deadline has passed."""
+        misses = 0
+        for record in reversed(self._records):
+            if record.answered:
+                break
+            if now_ms - record.issued_ms < deadline_ms:
+                # too early to judge this ping; skip it without resetting
+                continue
+            misses += 1
+        return misses
+
+    def loss_rate(self, now_ms: float, deadline_ms: float) -> float:
+        """Fraction of judged pings in the window that went unanswered."""
+        judged = 0
+        lost = 0
+        for record in self._records:
+            if record.answered:
+                judged += 1
+            elif now_ms - record.issued_ms >= deadline_ms:
+                judged += 1
+                lost += 1
+        return lost / judged if judged else 0.0
+
+    def rtts(self) -> list[float]:
+        return [r.rtt_ms for r in self._records if r.rtt_ms is not None]
+
+    def mean_rtt_ms(self) -> float | None:
+        rtts = self.rtts()
+        return sum(rtts) / len(rtts) if rtts else None
+
+    def jitter_ms(self) -> float:
+        rtts = self.rtts()
+        if len(rtts) < 2:
+            return 0.0
+        mean = sum(rtts) / len(rtts)
+        return (sum((r - mean) ** 2 for r in rtts) / (len(rtts) - 1)) ** 0.5
+
+    def out_of_order_rate(self) -> float:
+        return self._out_of_order / self._responses if self._responses else 0.0
+
+    def network_metrics(
+        self,
+        now_ms: float,
+        deadline_ms: float,
+        bandwidth_estimate_kbps: float = 100_000.0,
+    ) -> NetworkMetrics | None:
+        """Derive a NETWORK_METRICS trace body; None if no data yet."""
+        mean_rtt = self.mean_rtt_ms()
+        if mean_rtt is None:
+            return None
+        return NetworkMetrics(
+            loss_rate=self.loss_rate(now_ms, deadline_ms),
+            mean_rtt_ms=mean_rtt,
+            jitter_ms=self.jitter_ms(),
+            out_of_order_rate=self.out_of_order_rate(),
+            bandwidth_estimate_kbps=bandwidth_estimate_kbps,
+        )
+
+    def __len__(self) -> int:
+        return len(self._records)

@@ -1,0 +1,137 @@
+"""Traced-entity registration messages (section 3.2).
+
+The registration request carries: the entity's identifier and credentials,
+the trace topic advertisement (provenance), a request identifier for
+response correlation, and the entity's signature over all of it
+(demonstrating possession of the credentials and providing tamper
+evidence).  The success response carries the request identifier and the
+broker-minted session identifier, sealed so only the entity can read it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.certificates import Certificate
+from repro.crypto.rsa import RSAPublicKey
+from repro.crypto.signing import SignedEnvelope
+from repro.errors import RegistrationError
+from repro.tdn.advertisement import TopicAdvertisement
+from repro.util.identifiers import EntityId, RequestId, SessionId, UUID128
+
+
+@dataclass(frozen=True, slots=True)
+class TraceRegistrationRequest:
+    """What an entity publishes on the Registration topic."""
+
+    entity_id: EntityId
+    credentials: Certificate
+    advertisement: TopicAdvertisement
+    request_id: RequestId
+    signature: SignedEnvelope
+
+    @staticmethod
+    def signing_payload(
+        entity_id: EntityId,
+        credentials: Certificate,
+        advertisement: TopicAdvertisement,
+        request_id: RequestId,
+    ) -> dict:
+        """The canonical fields the entity signs."""
+        return {
+            "entity_id": str(entity_id),
+            "credential_fingerprint": credentials.fingerprint(),
+            "trace_topic": advertisement.trace_topic.hex,
+            "request_id": request_id.value,
+        }
+
+    def expected_payload(self) -> dict:
+        return self.signing_payload(
+            self.entity_id, self.credentials, self.advertisement, self.request_id
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "entity_id": str(self.entity_id),
+            "credentials": {
+                "subject": self.credentials.subject,
+                "issuer": self.credentials.issuer,
+                "n": self.credentials.public_key.n,
+                "e": self.credentials.public_key.e,
+                "serial": self.credentials.serial,
+                "not_before_ms": self.credentials.not_before_ms,
+                "not_after_ms": self.credentials.not_after_ms,
+                "signature": self.credentials.signature,
+            },
+            "advertisement": self.advertisement.to_dict(),
+            "request_id": self.request_id.value,
+            "signature": self.signature.to_dict(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TraceRegistrationRequest":
+        try:
+            cred = data["credentials"]
+            certificate = Certificate(
+                subject=str(cred["subject"]),
+                issuer=str(cred["issuer"]),
+                public_key=RSAPublicKey(int(cred["n"]), int(cred["e"])),
+                serial=int(cred["serial"]),
+                not_before_ms=float(cred["not_before_ms"]),
+                not_after_ms=float(cred["not_after_ms"]),
+                signature=bytes(cred["signature"]),
+            )
+            return cls(
+                entity_id=EntityId(str(data["entity_id"])),
+                credentials=certificate,
+                advertisement=TopicAdvertisement.from_dict(data["advertisement"]),
+                request_id=RequestId(int(data["request_id"])),
+                signature=SignedEnvelope.from_dict(data["signature"]),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise RegistrationError(f"malformed registration request: {exc}") from exc
+
+
+@dataclass(frozen=True, slots=True)
+class RegistrationResponse:
+    """Success response: request id + fresh session id (sealed in transit)."""
+
+    request_id: RequestId
+    session_id: SessionId
+    broker_id: str
+    broker_public_key_n: int
+    broker_public_key_e: int
+
+    def to_dict(self) -> dict:
+        return {
+            "request_id": self.request_id.value,
+            "session_id": self.session_id.value.hex,
+            "broker_id": self.broker_id,
+            "broker_n": self.broker_public_key_n,
+            "broker_e": self.broker_public_key_e,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RegistrationResponse":
+        return cls(
+            request_id=RequestId(int(data["request_id"])),
+            session_id=SessionId(UUID128.from_hex(data["session_id"])),
+            broker_id=str(data["broker_id"]),
+            broker_public_key_n=int(data["broker_n"]),
+            broker_public_key_e=int(data["broker_e"]),
+        )
+
+    @property
+    def broker_public_key(self) -> RSAPublicKey:
+        return RSAPublicKey(self.broker_public_key_n, self.broker_public_key_e)
+
+
+@dataclass(frozen=True, slots=True)
+class RegistrationError_Response:
+    """Error response returned when verification fails (section 3.2)."""
+
+    request_id: RequestId
+    reason: str
+
+    def to_dict(self) -> dict:
+        return {"request_id": self.request_id.value, "error": self.reason}

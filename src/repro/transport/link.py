@@ -1,0 +1,104 @@
+"""Directed and duplex links between simulated nodes."""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable
+
+from repro.sim.engine import Simulator
+from repro.sim.monitor import Monitor
+from repro.transport.base import DeliveryReceipt, TransportProfile, wire_size
+
+Handler = Callable[[Any], None]
+
+
+class Link:
+    """One directed channel delivering payloads to a receiver callback.
+
+    Ordering: for an ``ordered`` profile the link enforces FIFO by never
+    scheduling a delivery earlier than the previously scheduled one (models
+    TCP's in-order byte stream).  For unordered profiles each payload's
+    latency is sampled independently, so reordering happens naturally.
+
+    Reliability: for a ``reliable`` profile, each loss sample adds one
+    retransmission penalty instead of dropping.  For unreliable profiles a
+    loss sample silently drops the payload (the receiver sees nothing).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        profile: TransportProfile,
+        receiver: Handler,
+        rng: random.Random,
+        name: str = "",
+        monitor: Monitor | None = None,
+    ) -> None:
+        self.sim = sim
+        self.profile = profile
+        self.receiver = receiver
+        self.name = name or f"link-{id(self):x}"
+        self._rng = rng
+        self._monitor = monitor
+        self._last_arrival = 0.0
+        self.sent_count = 0
+        self.delivered_count = 0
+        self.dropped_count = 0
+        self.retransmit_count = 0
+
+    def send(self, payload: Any) -> DeliveryReceipt:
+        """Send ``payload``; schedules receiver callback in virtual time."""
+        size = wire_size(payload)
+        self.sent_count += 1
+        latency = self.profile.sample_latency_ms(size, self._rng)
+        retransmits = 0
+
+        if self.profile.sample_loss(self._rng):
+            if not self.profile.reliable:
+                self.dropped_count += 1
+                if self._monitor:
+                    self._monitor.increment(f"{self.name}.dropped")
+                return DeliveryReceipt(False, latency, 0, size)
+            # reliable: pay retransmission penalties until a send survives
+            while retransmits < self.profile.max_retransmits:
+                retransmits += 1
+                latency += self.profile.retransmit_timeout_ms
+                if not self.profile.sample_loss(self._rng):
+                    break
+            self.retransmit_count += retransmits
+
+        arrival = self.sim.now + latency
+        if self.profile.ordered and arrival < self._last_arrival:
+            arrival = self._last_arrival
+            latency = arrival - self.sim.now
+        if self.profile.ordered:
+            self._last_arrival = arrival
+
+        self.delivered_count += 1
+        if self._monitor:
+            self._monitor.increment(f"{self.name}.delivered")
+            self._monitor.record(f"{self.name}.latency_ms", self.sim.now, latency)
+        self.sim.call_at(arrival, lambda: self.receiver(payload))
+        return DeliveryReceipt(True, latency, retransmits, size)
+
+
+class DuplexLink:
+    """A symmetric pair of directed links between two endpoints."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        profile: TransportProfile,
+        receiver_a: Handler,
+        receiver_b: Handler,
+        rng: random.Random,
+        name: str = "",
+        monitor: Monitor | None = None,
+    ) -> None:
+        self.name = name or f"duplex-{id(self):x}"
+        self.a_to_b = Link(sim, profile, receiver_b, rng, f"{self.name}.a2b", monitor)
+        self.b_to_a = Link(sim, profile, receiver_a, rng, f"{self.name}.b2a", monitor)
+
+    @property
+    def profile(self) -> TransportProfile:
+        return self.a_to_b.profile

@@ -1,0 +1,34 @@
+"""UDP transport profile.
+
+Lower latency than TCP (no stream/ack machinery) but unreliable and
+unordered: a loss sample drops the datagram, and independent jitter draws
+can reorder deliveries — exactly the behaviours the broker's ping protocol
+measures (loss rates and out-of-order delivery, section 3.3).
+"""
+
+from __future__ import annotations
+
+from repro.transport.base import TransportProfile
+from repro.transport.tcp import LAN_PER_KB_MS
+
+
+def udp_profile(
+    base_latency_ms: float = 0.95,
+    jitter_ms: float = 0.30,
+    per_kb_ms: float = LAN_PER_KB_MS,
+    loss_probability: float = 0.0,
+) -> TransportProfile:
+    """A UDP-like profile: lossy, unordered, lower base latency."""
+    return TransportProfile(
+        name="UDP",
+        base_latency_ms=base_latency_ms,
+        jitter_ms=jitter_ms,
+        per_kb_ms=per_kb_ms,
+        loss_probability=loss_probability,
+        reliable=False,
+        ordered=False,
+    )
+
+
+#: Default cluster-LAN UDP profile (clean LAN: loss injected per-experiment).
+UDP_CLUSTER = udp_profile()

@@ -1,0 +1,167 @@
+"""Canonical byte serialization for signing and encryption.
+
+Digital signatures and message digests must be computed over a *stable* byte
+rendering of a message: two structurally equal messages must serialize to
+identical bytes regardless of dict insertion order.  JSON with sorted keys
+would almost suffice, but we also need raw ``bytes`` payloads (ciphertexts,
+key material) and tuple/int round-tripping, so we use a small self-describing
+binary format (a deterministic subset of a bencoding-like scheme).
+
+Supported types: ``None``, ``bool``, ``int``, ``float``, ``str``, ``bytes``,
+``list``/``tuple`` (decoded as list), and ``dict`` with ``str`` keys (encoded
+in sorted key order).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any
+
+_TAG_NONE = b"N"
+_TAG_TRUE = b"T"
+_TAG_FALSE = b"F"
+_TAG_INT = b"i"
+_TAG_FLOAT = b"f"
+_TAG_STR = b"s"
+_TAG_BYTES = b"b"
+_TAG_LIST = b"l"
+_TAG_DICT = b"d"
+_TAG_END = b"e"
+
+
+def canonical_encode(value: Any) -> bytes:
+    """Encode ``value`` to its unique canonical byte string."""
+    out = bytearray()
+    _encode_into(value, out)
+    return bytes(out)
+
+
+def _encode_into(value: Any, out: bytearray) -> None:
+    if value is None:
+        out += _TAG_NONE
+    elif value is True:
+        out += _TAG_TRUE
+    elif value is False:
+        out += _TAG_FALSE
+    elif isinstance(value, int):
+        rendered = str(value).encode("ascii")
+        out += _TAG_INT
+        out += str(len(rendered)).encode("ascii")
+        out += b":"
+        out += rendered
+    elif isinstance(value, float):
+        # Fixed 8-byte IEEE-754 big-endian: bit-exact round trip.
+        out += _TAG_FLOAT
+        out += struct.pack(">d", value)
+    elif isinstance(value, str):
+        data = value.encode("utf-8")
+        out += _TAG_STR
+        out += str(len(data)).encode("ascii")
+        out += b":"
+        out += data
+    elif isinstance(value, (bytes, bytearray, memoryview)):
+        data = bytes(value)
+        out += _TAG_BYTES
+        out += str(len(data)).encode("ascii")
+        out += b":"
+        out += data
+    elif isinstance(value, (list, tuple)):
+        out += _TAG_LIST
+        for item in value:
+            _encode_into(item, out)
+        out += _TAG_END
+    elif isinstance(value, dict):
+        out += _TAG_DICT
+        keys = list(value.keys())
+        for key in keys:
+            if not isinstance(key, str):
+                raise TypeError(f"dict keys must be str, got {type(key).__name__}")
+        for key in sorted(keys):
+            _encode_into(key, out)
+            _encode_into(value[key], out)
+        out += _TAG_END
+    else:
+        raise TypeError(f"cannot canonically encode {type(value).__name__}")
+
+
+def canonical_decode(data: bytes) -> Any:
+    """Decode bytes produced by :func:`canonical_encode`.
+
+    Raises ``ValueError`` on malformed or trailing data.
+    """
+    value, offset = _decode_from(data, 0)
+    if offset != len(data):
+        raise ValueError(f"trailing bytes after canonical value at offset {offset}")
+    return value
+
+
+def _read_length(data: bytes, offset: int) -> tuple[int, int]:
+    end = data.find(b":", offset)
+    if end < 0:
+        raise ValueError("missing length delimiter")
+    text = data[offset:end]
+    if not text or not text.lstrip(b"-").isdigit():
+        raise ValueError(f"bad length field {text!r}")
+    return int(text), end + 1
+
+
+def _decode_from(data: bytes, offset: int) -> tuple[Any, int]:
+    if offset >= len(data):
+        raise ValueError("unexpected end of canonical data")
+    tag = data[offset : offset + 1]
+    offset += 1
+    if tag == _TAG_NONE:
+        return None, offset
+    if tag == _TAG_TRUE:
+        return True, offset
+    if tag == _TAG_FALSE:
+        return False, offset
+    if tag == _TAG_INT:
+        length, offset = _read_length(data, offset)
+        chunk = data[offset : offset + length]
+        if len(chunk) != length:
+            raise ValueError("truncated int")
+        return int(chunk), offset + length
+    if tag == _TAG_FLOAT:
+        chunk = data[offset : offset + 8]
+        if len(chunk) != 8:
+            raise ValueError("truncated float")
+        return struct.unpack(">d", chunk)[0], offset + 8
+    if tag == _TAG_STR:
+        length, offset = _read_length(data, offset)
+        chunk = data[offset : offset + length]
+        if len(chunk) != length:
+            raise ValueError("truncated str")
+        return chunk.decode("utf-8"), offset + length
+    if tag == _TAG_BYTES:
+        length, offset = _read_length(data, offset)
+        chunk = data[offset : offset + length]
+        if len(chunk) != length:
+            raise ValueError("truncated bytes")
+        return chunk, offset + length
+    if tag == _TAG_LIST:
+        items: list[Any] = []
+        while True:
+            if offset >= len(data):
+                raise ValueError("unterminated list")
+            if data[offset : offset + 1] == _TAG_END:
+                return items, offset + 1
+            item, offset = _decode_from(data, offset)
+            items.append(item)
+    if tag == _TAG_DICT:
+        result: dict[str, Any] = {}
+        previous_key: str | None = None
+        while True:
+            if offset >= len(data):
+                raise ValueError("unterminated dict")
+            if data[offset : offset + 1] == _TAG_END:
+                return result, offset + 1
+            key, offset = _decode_from(data, offset)
+            if not isinstance(key, str):
+                raise ValueError("dict key must decode to str")
+            if previous_key is not None and key <= previous_key:
+                raise ValueError("dict keys not in canonical order")
+            previous_key = key
+            value, offset = _decode_from(data, offset)
+            result[key] = value
+    raise ValueError(f"unknown tag {tag!r} at offset {offset - 1}")

@@ -1,0 +1,127 @@
+"""Tests for broker-side token verification and the trace guard."""
+
+import pytest
+
+from repro.auth.tokens import AuthorizationToken, TokenRights
+from repro.auth.verification import TokenVerifier, TraceAuthorizationGuard
+from repro.crypto.signing import sign_payload
+from repro.errors import TokenError
+from repro.messaging.message import Message
+from repro.messaging.topics import Topic
+from repro.tdn.advertisement import TopicAdvertisement, TopicLifetime
+from repro.tdn.query import DiscoveryRestrictions, trace_descriptor
+from repro.util.identifiers import UUID128
+
+
+def make_advertisement(owner_pair, tdn_pair, tdn_name="tdn-0", topic_value=5):
+    fields = {
+        "trace_topic": UUID128(topic_value).hex,
+        "descriptor": trace_descriptor("svc"),
+        "owner_subject": "svc",
+        "owner_n": owner_pair.public.n,
+        "owner_e": owner_pair.public.e,
+        "restrictions": DiscoveryRestrictions.open_to_authenticated().to_dict(),
+        "lifetime": TopicLifetime(0.0, 1e9).to_dict(),
+        "issuing_tdn": tdn_name,
+    }
+    return TopicAdvertisement(
+        trace_topic=UUID128(topic_value),
+        descriptor=trace_descriptor("svc"),
+        owner_subject="svc",
+        owner_public_key=owner_pair.public,
+        restrictions=DiscoveryRestrictions.open_to_authenticated(),
+        lifetime=TopicLifetime(0.0, 1e9),
+        issuing_tdn=tdn_name,
+        signature=sign_payload(fields, tdn_pair.private),
+    )
+
+
+@pytest.fixture
+def verifier(second_keypair):
+    return TokenVerifier({"tdn-0": second_keypair.public})
+
+
+@pytest.fixture
+def valid_token_dict(keypair, second_keypair, rng):
+    ad = make_advertisement(keypair, second_keypair)
+    token, _ = AuthorizationToken.create(
+        ad, keypair.private, TokenRights.PUBLISH, 0.0, 10_000.0, rng
+    )
+    return token.to_dict()
+
+
+class TestTokenVerifier:
+    def test_valid_token_passes(self, verifier, valid_token_dict):
+        token = verifier.verify(valid_token_dict, now_ms=100.0)
+        assert token.rights is TokenRights.PUBLISH
+
+    def test_expired_rejected(self, verifier, valid_token_dict):
+        with pytest.raises(TokenError):
+            verifier.verify(valid_token_dict, now_ms=10_200.0)
+
+    def test_skew_tolerance_applied(self, verifier, valid_token_dict):
+        verifier.verify(valid_token_dict, now_ms=10_099.0)  # inside tolerance
+
+    def test_untrusted_tdn_rejected(self, keypair, second_keypair, rng):
+        verifier = TokenVerifier({})  # trusts no TDN
+        ad = make_advertisement(keypair, second_keypair)
+        token, _ = AuthorizationToken.create(
+            ad, keypair.private, TokenRights.PUBLISH, 0.0, 10_000.0, rng
+        )
+        with pytest.raises(TokenError):
+            verifier.verify(token.to_dict(), now_ms=0.0)
+
+    def test_forged_advertisement_rejected(self, keypair, second_keypair, rng):
+        # advertisement signed by the owner, not the TDN
+        ad = make_advertisement(keypair, keypair)
+        verifier = TokenVerifier({"tdn-0": second_keypair.public})
+        token, _ = AuthorizationToken.create(
+            ad, keypair.private, TokenRights.PUBLISH, 0.0, 10_000.0, rng
+        )
+        with pytest.raises(TokenError):
+            verifier.verify(token.to_dict(), now_ms=0.0)
+
+    def test_subscribe_rights_rejected_for_publish(
+        self, verifier, keypair, second_keypair, rng
+    ):
+        ad = make_advertisement(keypair, second_keypair)
+        token, _ = AuthorizationToken.create(
+            ad, keypair.private, TokenRights.SUBSCRIBE, 0.0, 10_000.0, rng
+        )
+        with pytest.raises(TokenError):
+            verifier.verify(token.to_dict(), now_ms=0.0)
+
+    def test_advertisement_cache_used(self, verifier, valid_token_dict):
+        verifier.verify(valid_token_dict, now_ms=0.0)
+        assert len(verifier._advertisement_cache) == 1
+        verifier.verify(valid_token_dict, now_ms=1.0)
+        assert len(verifier._advertisement_cache) == 1
+
+    def test_malformed_rejected(self, verifier):
+        with pytest.raises(TokenError):
+            verifier.verify({"garbage": True}, now_ms=0.0)
+
+
+class TestGuardApplicability:
+    def test_applies_to_trace_publication_topics(self, verifier):
+        guard = TraceAuthorizationGuard(verifier)
+        message = Message(
+            topic=Topic.parse("Constrained/Traces/Broker/Publish-Only/abc/Load"),
+            body={},
+            source="b1",
+        )
+        assert guard.applies_to(message)
+
+    @pytest.mark.parametrize(
+        "topic",
+        [
+            "News/Sports",  # unconstrained
+            "Constrained/Traces/Broker/Subscribe-Only/Registration",  # funnel topic
+            "Constrained/Traces/svc/Subscribe-Only/abc/def",  # entity constrainer
+            "Constrained/Admin/Broker/Publish-Only/x",  # not Traces event type
+        ],
+    )
+    def test_does_not_apply_elsewhere(self, verifier, topic):
+        guard = TraceAuthorizationGuard(verifier)
+        message = Message(topic=Topic.parse(topic), body={}, source="x")
+        assert not guard.applies_to(message)

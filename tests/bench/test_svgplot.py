@@ -1,0 +1,70 @@
+"""Tests for the dependency-free SVG plotter."""
+
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.bench.svgplot import Series, line_chart, series_dict_to_svg, _nice_ticks
+
+
+DATA = {
+    "tcp": [(2, 72.7), (3, 79.5), (4, 86.4)],
+    "udp": [(2, 70.2), (3, 76.5), (4, 84.0)],
+}
+
+
+class TestNiceTicks:
+    def test_round_values(self):
+        ticks = _nice_ticks(0.0, 100.0)
+        assert all(t % 20 == 0 or t % 25 == 0 or t % 10 == 0 for t in ticks)
+        assert ticks[0] <= 0.0 + 25
+        assert ticks[-1] >= 75
+
+    def test_degenerate_range(self):
+        ticks = _nice_ticks(5.0, 5.0)
+        assert ticks  # still produces something sensible
+
+    def test_monotone(self):
+        ticks = _nice_ticks(12.3, 987.6)
+        assert ticks == sorted(ticks)
+
+
+class TestLineChart:
+    def test_valid_xml(self):
+        svg = series_dict_to_svg("T", "x", "y", DATA)
+        root = ET.fromstring(svg)
+        assert root.tag.endswith("svg")
+
+    def test_contains_series_and_labels(self):
+        svg = series_dict_to_svg("Figure 2", "hops", "ms", DATA)
+        assert "Figure 2" in svg
+        assert "tcp" in svg and "udp" in svg
+        assert "hops" in svg and "ms" in svg
+
+    def test_one_path_per_series(self):
+        svg = series_dict_to_svg("T", "x", "y", DATA)
+        assert svg.count("<path") == 2
+
+    def test_points_rendered_as_circles(self):
+        svg = series_dict_to_svg("T", "x", "y", DATA)
+        assert svg.count("<circle") == 6
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart("T", "x", "y", [])
+        with pytest.raises(ValueError):
+            line_chart("T", "x", "y", [Series("empty", ())])
+
+    def test_single_point_series(self):
+        svg = line_chart("T", "x", "y", [Series("dot", ((1.0, 2.0),))])
+        assert "<circle" in svg
+
+    def test_title_escaped(self):
+        svg = series_dict_to_svg("a < b & c", "x", "y", DATA)
+        ET.fromstring(svg)  # parses despite special characters
+        assert "a &lt; b &amp; c" in svg
+
+    def test_y_from_zero(self):
+        svg_zero = series_dict_to_svg("T", "x", "y", DATA, y_from_zero=True)
+        svg_auto = series_dict_to_svg("T", "x", "y", DATA, y_from_zero=False)
+        assert svg_zero != svg_auto

@@ -1,0 +1,67 @@
+"""Tests for paper-vs-measured table rendering."""
+
+from repro.bench.tables import ComparisonRow, render_comparison, render_series
+from repro.util.stats import summarize
+
+
+def make_row(label="case", paper=70.0, values=(71.0, 73.0)):
+    return ComparisonRow(
+        label=label,
+        paper_mean=paper,
+        paper_std=4.0,
+        measured=summarize(list(values)),
+    )
+
+
+class TestComparisonRow:
+    def test_delta(self):
+        row = make_row(paper=70.0, values=(72.0, 72.0))
+        assert row.delta_mean == 2.0
+
+    def test_delta_none_without_paper_value(self):
+        row = ComparisonRow("x", None, None, summarize([1.0]))
+        assert row.delta_mean is None
+
+
+class TestRenderComparison:
+    def test_contains_all_fields(self):
+        text = render_comparison("Title", [make_row("2 hops")])
+        assert "Title" in text
+        assert "2 hops" in text
+        assert "70.00" in text  # paper mean
+        assert "72.00" in text  # ours mean
+        assert "+2.00" in text  # delta
+
+    def test_missing_paper_values_render_dashes(self):
+        row = ComparisonRow("novel case", None, None, summarize([5.0]))
+        text = render_comparison("T", [row])
+        assert "novel case" in text
+        line = [l for l in text.splitlines() if "novel case" in l][0]
+        assert " - " in line or line.rstrip().endswith("-")
+
+    def test_multiple_rows_ordered(self):
+        text = render_comparison("T", [make_row("first"), make_row("second")])
+        assert text.index("first") < text.index("second")
+
+
+class TestRenderSeries:
+    def test_aligned_columns(self):
+        text = render_series(
+            "Fig", "hops",
+            {"tcp": [(2, 70.0), (3, 80.0)], "udp": [(2, 68.0), (3, 77.0)]},
+        )
+        assert "Fig" in text
+        assert "tcp" in text and "udp" in text
+        assert "70.00" in text and "77.00" in text
+
+    def test_missing_points_render_dash(self):
+        text = render_series(
+            "Fig", "x", {"a": [(1, 1.0), (2, 2.0)], "b": [(1, 10.0)]}
+        )
+        row2 = [l for l in text.splitlines() if l.strip().startswith("2")][0]
+        assert "-" in row2
+
+    def test_x_values_sorted(self):
+        text = render_series("Fig", "x", {"a": [(3, 1.0), (1, 2.0)]})
+        lines = [l for l in text.splitlines() if l.strip() and l.strip()[0].isdigit()]
+        assert lines[0].strip().startswith("1")

@@ -1,0 +1,61 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.crypto.certificates import CertificateAuthority
+from repro.crypto.costmodel import CryptoCostModel
+from repro.crypto.rsa import generate_rsa_keypair
+from repro.sim.engine import Simulator
+from repro.sim.machine import Machine
+from repro.sim.monitor import Monitor
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+@pytest.fixture
+def monitor() -> Monitor:
+    return Monitor()
+
+
+@pytest.fixture(scope="session")
+def session_rng() -> random.Random:
+    return random.Random(0xDECADE)
+
+
+@pytest.fixture(scope="session")
+def keypair(session_rng):
+    """One RSA key pair shared across the session (keygen is the slow op)."""
+    return generate_rsa_keypair(session_rng)
+
+
+@pytest.fixture(scope="session")
+def second_keypair(session_rng):
+    return generate_rsa_keypair(session_rng)
+
+
+@pytest.fixture
+def ca(rng) -> CertificateAuthority:
+    return CertificateAuthority("test-ca", rng)
+
+
+@pytest.fixture
+def free_cost_model() -> CryptoCostModel:
+    """Cost model charging zero time — for purely functional tests."""
+    return CryptoCostModel.free()
+
+
+@pytest.fixture
+def machine(sim, rng) -> Machine:
+    return Machine(sim, "m0", CryptoCostModel(seed=1), rng)

@@ -1,0 +1,84 @@
+"""Tests for the X.509-like certificate layer."""
+
+import random
+
+import pytest
+
+from repro.crypto.certificates import Certificate, CertificateAuthority
+from repro.errors import CertificateError
+
+
+class TestIssueAndVerify:
+    def test_issued_certificate_verifies(self, ca, keypair):
+        cert = ca.issue("alice", keypair.public)
+        ca.verify(cert, now_ms=0.0)
+
+    def test_root_is_self_signed_and_valid(self, ca):
+        root = ca.root_certificate
+        assert root.subject == root.issuer == ca.name
+        ca.verify(root, now_ms=1e12)
+
+    def test_serials_increase(self, ca, keypair):
+        a = ca.issue("a", keypair.public)
+        b = ca.issue("b", keypair.public)
+        assert b.serial > a.serial
+
+    def test_fingerprint_is_key_fingerprint(self, ca, keypair):
+        cert = ca.issue("alice", keypair.public)
+        assert cert.fingerprint() == keypair.public.fingerprint()
+
+
+class TestRejection:
+    def test_wrong_issuer_name(self, ca, keypair, rng):
+        other = CertificateAuthority("evil-ca", rng)
+        cert = other.issue("mallory", keypair.public)
+        with pytest.raises(CertificateError):
+            ca.verify(cert)
+
+    def test_forged_signature(self, ca, keypair):
+        cert = ca.issue("alice", keypair.public)
+        forged = Certificate(
+            subject="mallory",  # changed subject, same signature
+            issuer=cert.issuer,
+            public_key=cert.public_key,
+            serial=cert.serial,
+            not_before_ms=cert.not_before_ms,
+            not_after_ms=cert.not_after_ms,
+            signature=cert.signature,
+        )
+        with pytest.raises(CertificateError):
+            ca.verify(forged)
+
+    def test_same_name_different_ca_rejected(self, keypair):
+        real = CertificateAuthority("ca", random.Random(1))
+        fake = CertificateAuthority("ca", random.Random(2))
+        cert = fake.issue("alice", keypair.public)
+        with pytest.raises(CertificateError):
+            real.verify(cert)
+
+
+class TestValidityWindow:
+    def test_expired(self, ca, keypair):
+        cert = ca.issue("alice", keypair.public, not_after_ms=100.0)
+        ca.verify(cert, now_ms=50.0)
+        with pytest.raises(CertificateError):
+            ca.verify(cert, now_ms=101.0)
+
+    def test_not_yet_valid(self, ca, keypair):
+        cert = ca.issue("alice", keypair.public, not_before_ms=100.0)
+        with pytest.raises(CertificateError):
+            ca.verify(cert, now_ms=50.0)
+        ca.verify(cert, now_ms=100.0)
+
+    def test_no_time_check_when_now_omitted(self, ca, keypair):
+        cert = ca.issue("alice", keypair.public, not_after_ms=100.0)
+        ca.verify(cert)  # structural check only
+
+    def test_check_validity_boundaries(self, ca, keypair):
+        cert = ca.issue("alice", keypair.public, not_before_ms=10.0, not_after_ms=20.0)
+        cert.check_validity(10.0)
+        cert.check_validity(20.0)
+        with pytest.raises(CertificateError):
+            cert.check_validity(9.99)
+        with pytest.raises(CertificateError):
+            cert.check_validity(20.01)

@@ -1,0 +1,92 @@
+"""Tests for repro.crypto.primes."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.primes import egcd, generate_prime, is_probable_prime, modinv
+
+KNOWN_PRIMES = [2, 3, 5, 7, 97, 101, 7919, 104729, 2**31 - 1]
+KNOWN_COMPOSITES = [0, 1, 4, 9, 100, 7917, 2**31, 561, 41041, 825265]  # incl. Carmichael
+
+
+class TestMillerRabin:
+    @pytest.mark.parametrize("p", KNOWN_PRIMES)
+    def test_known_primes(self, p):
+        assert is_probable_prime(p)
+
+    @pytest.mark.parametrize("n", KNOWN_COMPOSITES)
+    def test_known_composites(self, n):
+        assert not is_probable_prime(n)
+
+    def test_negative_numbers(self):
+        assert not is_probable_prime(-7)
+
+    def test_large_prime(self):
+        # 2^127 - 1 is a Mersenne prime
+        assert is_probable_prime(2**127 - 1, random.Random(0))
+
+    def test_large_composite(self):
+        assert not is_probable_prime((2**61 - 1) * (2**31 - 1), random.Random(0))
+
+    @given(st.integers(min_value=2, max_value=10_000))
+    @settings(max_examples=200)
+    def test_agrees_with_trial_division(self, n):
+        by_trial = all(n % d for d in range(2, int(n**0.5) + 1)) and n >= 2
+        assert is_probable_prime(n) == by_trial
+
+
+class TestGeneratePrime:
+    @pytest.mark.parametrize("bits", [16, 32, 64, 128])
+    def test_exact_bit_length(self, bits):
+        rng = random.Random(42)
+        p = generate_prime(bits, rng)
+        assert p.bit_length() == bits
+        assert is_probable_prime(p)
+
+    def test_top_two_bits_set(self):
+        p = generate_prime(64, random.Random(1))
+        assert p >> 62 == 0b11
+
+    def test_deterministic(self):
+        assert generate_prime(32, random.Random(7)) == generate_prime(
+            32, random.Random(7)
+        )
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            generate_prime(4, random.Random(0))
+
+
+class TestModularArithmetic:
+    def test_egcd_identity(self):
+        g, x, y = egcd(240, 46)
+        assert g == 2
+        assert 240 * x + 46 * y == g
+
+    @given(
+        st.integers(min_value=1, max_value=10**9),
+        st.integers(min_value=1, max_value=10**9),
+    )
+    def test_egcd_property(self, a, b):
+        g, x, y = egcd(a, b)
+        assert a * x + b * y == g
+        assert a % g == 0 and b % g == 0
+
+    def test_modinv(self):
+        assert (3 * modinv(3, 11)) % 11 == 1
+        assert (65537 * modinv(65537, 7919 * 104729)) % (7919 * 104729) \
+            == 65537 * modinv(65537, 7919 * 104729) % (7919 * 104729)
+
+    def test_modinv_raises_when_not_coprime(self):
+        with pytest.raises(ValueError):
+            modinv(6, 9)
+
+    @given(st.integers(min_value=2, max_value=10**6))
+    def test_modinv_property(self, m):
+        a = 65537
+        from math import gcd
+
+        if gcd(a, m) == 1:
+            assert (a * modinv(a, m)) % m == 1

@@ -1,0 +1,133 @@
+"""Authorization end to end: discovery restrictions, tokens, tampering."""
+
+import pytest
+
+from repro import build_deployment
+from repro.errors import DiscoveryError
+from repro.tdn.query import DiscoveryRestrictions
+from repro.tracing.traces import TraceType
+
+
+@pytest.fixture
+def dep():
+    return build_deployment(broker_ids=["b1", "b2"], seed=400)
+
+
+class TestDiscoveryRestrictions:
+    def test_unauthorized_tracker_cannot_proceed(self, dep):
+        entity = dep.add_traced_entity(
+            "svc", restrictions=DiscoveryRestrictions.allow_only("friend")
+        )
+        stranger = dep.add_tracker("stranger")
+        stranger.connect("b2")
+        entity.start("b1")
+        dep.sim.run(until=3_000)
+        proc = stranger.track("svc")
+        dep.sim.run(until=5_000)
+        assert proc.triggered and not proc.ok
+        with pytest.raises(DiscoveryError):
+            _ = proc.value
+
+    def test_authorized_tracker_proceeds(self, dep):
+        entity = dep.add_traced_entity(
+            "svc", restrictions=DiscoveryRestrictions.allow_only("friend")
+        )
+        friend = dep.add_tracker("friend")
+        friend.connect("b2")
+        entity.start("b1")
+        dep.sim.run(until=3_000)
+        friend.track("svc")
+        dep.sim.run(until=20_000)
+        assert friend.traces_of_type(TraceType.ALLS_WELL)
+
+
+class TestTokenEnforcement:
+    def test_traces_carry_valid_tokens(self, dep):
+        entity = dep.add_traced_entity("svc")
+        tracker = dep.add_tracker("w")
+        tracker.connect("b2")
+        entity.start("b1")
+        dep.sim.run(until=3_000)
+        tracker.track("svc")
+        dep.sim.run(until=20_000)
+        assert tracker.received
+        assert dep.monitor.count("tracker.tokens_rejected") == 0
+        assert dep.monitor.count("auth.invalid_token") == 0
+
+    def test_expired_token_stops_publication(self):
+        dep = build_deployment(broker_ids=["b1"], seed=401)
+        entity = dep.add_traced_entity("svc")
+        entity.token_validity_ms = 10_000.0  # short-lived token
+        tracker = dep.add_tracker("w")
+        tracker.connect("b1")
+        entity.start("b1")
+        dep.sim.run(until=3_000)
+        tracker.track("svc")
+        dep.sim.run(until=60_000)
+        # publication halted once the token expired (entity never refreshed)
+        assert dep.monitor.count("trace.token_expired") > 0
+        last_received = max(t.received_ms for t in tracker.received)
+        assert last_received < 12_000.0
+
+    def test_token_refresh_restores_publication(self):
+        dep = build_deployment(broker_ids=["b1"], seed=402)
+        entity = dep.add_traced_entity("svc")
+        entity.token_validity_ms = 10_000.0
+        tracker = dep.add_tracker("w")
+        tracker.connect("b1")
+        entity.start("b1")
+        dep.sim.run(until=3_000)
+        tracker.track("svc")
+        dep.sim.run(until=15_000)  # token now expired
+
+        def refresh():
+            yield from entity.refresh_token()
+
+        dep.sim.process(refresh())
+        dep.sim.run(until=40_000)
+        assert any(t.received_ms > 16_000 for t in tracker.received)
+
+
+class TestMessageIntegrity:
+    def test_tampered_entity_message_rejected(self, dep):
+        """A message whose signature covers different bytes is dropped."""
+        entity = dep.add_traced_entity("svc")
+        entity.start("b1")
+        dep.sim.run(until=3_000)
+        session = dep.manager_of("b1").session_of("svc")
+        topic = session.topics.entity_to_broker(session.session_id)
+
+        body = {"kind": "state_transition", "state": "SHUTDOWN", "stamp_ms": 0.0}
+        envelope = entity.credentials.sign({"something": "else"})
+        entity.client.publish(topic, body, signature=envelope.to_dict())
+        dep.sim.run(until=6_000)
+        assert dep.monitor.count("trace.entity_messages_rejected") >= 1
+        assert session.entity_state.value != "SHUTDOWN"
+
+    def test_unsigned_entity_message_rejected(self, dep):
+        entity = dep.add_traced_entity("svc")
+        entity.start("b1")
+        dep.sim.run(until=3_000)
+        session = dep.manager_of("b1").session_of("svc")
+        topic = session.topics.entity_to_broker(session.session_id)
+        entity.client.publish(
+            topic, {"kind": "state_transition", "state": "SHUTDOWN"}
+        )
+        dep.sim.run(until=6_000)
+        assert session.entity_state.value != "SHUTDOWN"
+
+    def test_message_signed_by_other_key_rejected(self, dep):
+        """Another registered entity cannot impersonate svc."""
+        entity = dep.add_traced_entity("svc")
+        imposter = dep.add_traced_entity("imposter")
+        entity.start("b1")
+        imposter.start("b1")
+        dep.sim.run(until=5_000)
+        session = dep.manager_of("b1").session_of("svc")
+        topic = session.topics.entity_to_broker(session.session_id)
+
+        body = {"kind": "disable_tracing", "stamp_ms": 0.0}
+        envelope = imposter.credentials.sign(body)
+        imposter.client.publish(topic, body, signature=envelope.to_dict())
+        dep.sim.run(until=8_000)
+        assert session.active  # the forged disable was ignored

@@ -1,0 +1,112 @@
+"""Recovery and resilience: re-registration, broker failure, migration."""
+
+import pytest
+
+from repro import build_deployment
+from repro.tracing.failure import AdaptivePingPolicy
+from repro.tracing.traces import TraceType
+
+FAST_POLICY = AdaptivePingPolicy(
+    base_interval_ms=500.0, min_interval_ms=100.0,
+    max_interval_ms=1_000.0, response_deadline_ms=200.0,
+)
+
+
+@pytest.fixture
+def dep():
+    return build_deployment(
+        broker_ids=["b1", "b2", "b3"], seed=700, ping_policy=FAST_POLICY
+    )
+
+
+def bootstrap(dep, tracker_broker="b3"):
+    entity = dep.add_traced_entity("svc")
+    tracker = dep.add_tracker("w")
+    tracker.interest_refresh_ms = 0.0  # always answer gauges promptly
+    tracker.connect(tracker_broker)
+    entity.start("b1")
+    dep.sim.run(until=3_000)
+    tracker.track("svc")
+    dep.sim.run(until=6_000)
+    return entity, tracker
+
+
+class TestReregistration:
+    def test_failed_entity_resumes_after_reregistration(self, dep):
+        entity, tracker = bootstrap(dep)
+        entity.crash()
+        dep.sim.run(until=60_000)
+        assert tracker.traces_of_type(TraceType.FAILED)
+        old_session = entity.session_id
+
+        dep.sim.process(entity.reregister())
+        dep.sim.run(until=90_000)
+        assert entity.session_id != old_session
+        # the tracker sees fresh heartbeats without resubscribing
+        late = [t for t in tracker.traces_of_type(TraceType.ALLS_WELL)
+                if t.received_ms > 62_000]
+        assert late
+
+    def test_reregistration_supersedes_old_session(self, dep):
+        entity, _ = bootstrap(dep)
+        dep.sim.process(entity.reregister())
+        dep.sim.run(until=20_000)
+        manager = dep.manager_of("b1")
+        assert dep.monitor.count("trace.sessions_superseded") == 1
+        active = [s for s in manager.sessions.values() if s.active]
+        assert len(active) == 1
+
+    def test_recovery_announces_state_transitions(self, dep):
+        entity, tracker = bootstrap(dep)
+        entity.crash()
+        dep.sim.run(until=60_000)
+        dep.sim.process(entity.reregister())
+        dep.sim.run(until=90_000)
+        kinds = [t.trace_type for t in tracker.received]
+        assert TraceType.RECOVERING in kinds
+        assert TraceType.JOIN in kinds  # re-registration re-announces JOIN
+
+
+class TestBrokerFailure:
+    def test_failed_broker_stops_traffic(self, dep):
+        entity, tracker = bootstrap(dep)
+        dep.network.fail_broker("b1")
+        marker = dep.sim.now
+        dep.sim.run(until=marker + 20_000)
+        late = [t for t in tracker.traces_of_type(TraceType.ALLS_WELL)
+                if t.received_ms > marker + 1_000]
+        assert not late
+        assert dep.monitor.count("messages.dropped_broker_failed") > 0
+
+    def test_routing_steers_around_failed_broker(self, dep):
+        # ring topology so b2's failure leaves a path b1-b3
+        dep.network.connect_brokers("b1", "b3")
+        entity, tracker = bootstrap(dep)
+        count_before = len(tracker.traces_of_type(TraceType.ALLS_WELL))
+        dep.network.fail_broker("b2")
+        dep.sim.run(until=30_000)
+        count_after = len(tracker.traces_of_type(TraceType.ALLS_WELL))
+        assert count_after > count_before  # traces now flow b1 -> b3
+
+    def test_entity_migrates_to_live_broker(self, dep):
+        entity, tracker = bootstrap(dep)
+        dep.network.fail_broker("b1")
+        dep.sim.run(until=12_000)
+
+        dep.sim.process(entity.migrate("b2"))
+        dep.sim.run(until=40_000)
+        assert entity.client.broker.broker_id == "b2"
+        assert dep.manager_of("b2").session_of("svc") is not None
+        late = [t for t in tracker.traces_of_type(TraceType.ALLS_WELL)
+                if t.received_ms > 20_000]
+        assert late, "tracker should keep receiving after migration"
+
+    def test_recovered_broker_rejoins(self, dep):
+        entity, tracker = bootstrap(dep)
+        dep.network.fail_broker("b2")
+        dep.sim.run(until=12_000)
+        dep.network.recover_broker("b2", neighbors=["b1", "b3"])
+        dep.sim.run(until=40_000)
+        late = [t for t in tracker.traces_of_type(TraceType.ALLS_WELL)
+                if t.received_ms > 13_000]
+        assert late

@@ -1,0 +1,350 @@
+"""Tests for broker behaviour: pub/sub, enforcement, DoS handling."""
+
+import pytest
+
+from repro.errors import UnauthorizedError
+from repro.messaging.broker_network import BrokerNetwork
+from repro.messaging.message import Message
+from repro.messaging.topics import Topic
+from repro.sim.engine import Simulator
+
+
+@pytest.fixture
+def net():
+    sim = Simulator()
+    network = BrokerNetwork(sim, seed=11)
+    network.build_chain(["b1", "b2", "b3"])
+    return sim, network
+
+
+def make_client(network, name, broker):
+    client = network.add_client(name)
+    network.connect_client(client, broker)
+    return client
+
+
+class TestLocalPubSub:
+    def test_same_broker_delivery(self, net):
+        sim, network = net
+        pub = make_client(network, "pub", "b1")
+        sub = make_client(network, "sub", "b1")
+        got = []
+        sub.subscribe("news/local", lambda m: got.append(m.body))
+        pub.publish("news/local", {"v": 1})
+        sim.run()
+        assert got == [{"v": 1}]
+
+    def test_publisher_does_not_hear_itself(self, net):
+        sim, network = net
+        client = make_client(network, "c", "b1")
+        got = []
+        client.subscribe("self/topic", lambda m: got.append(m))
+        client.publish("self/topic", "x")
+        sim.run()
+        assert got == []
+
+    def test_wildcard_subscription(self, net):
+        sim, network = net
+        pub = make_client(network, "pub", "b1")
+        sub = make_client(network, "sub", "b1")
+        got = []
+        sub.subscribe("metrics/>", lambda m: got.append(m.topic.canonical))
+        pub.publish("metrics/cpu/core0", 0.5)
+        pub.publish("metrics/mem", 0.7)
+        pub.publish("other/cpu", 0.1)
+        sim.run()
+        assert sorted(got) == ["metrics/cpu/core0", "metrics/mem"]
+
+    def test_unsubscribe_stops_delivery(self, net):
+        sim, network = net
+        pub = make_client(network, "pub", "b1")
+        sub = make_client(network, "sub", "b1")
+        got = []
+        handler = lambda m: got.append(m.body)
+        sub.subscribe("t/x", handler)
+        pub.publish("t/x", 1)
+        sim.run()
+        sub.unsubscribe("t/x", handler)
+        pub.publish("t/x", 2)
+        sim.run()
+        assert got == [1]
+
+
+class TestMultiHopRouting:
+    def test_two_hop_delivery(self, net):
+        sim, network = net
+        pub = make_client(network, "pub", "b1")
+        sub = make_client(network, "sub", "b3")
+        got = []
+        sub.subscribe("far/topic", lambda m: got.append(m))
+        pub.publish("far/topic", "payload")
+        sim.run()
+        assert len(got) == 1
+        assert got[0].hops == 2  # b1 -> b2 -> b3
+
+    def test_no_interest_no_forwarding(self, net):
+        sim, network = net
+        pub = make_client(network, "pub", "b1")
+        before = network.broker("b1").monitor.count("messages.forwarded_out")
+        pub.publish("nobody/listens", 1)
+        sim.run()
+        after = network.broker("b1").monitor.count("messages.forwarded_out")
+        assert after == before
+
+    def test_multiple_subscribers_across_brokers(self, net):
+        sim, network = net
+        pub = make_client(network, "pub", "b2")
+        got = []
+        for i, broker in enumerate(["b1", "b2", "b3"]):
+            sub = make_client(network, f"sub{i}", broker)
+            sub.subscribe("fan/out", lambda m, i=i: got.append(i))
+        pub.publish("fan/out", "x")
+        sim.run()
+        assert sorted(got) == [0, 1, 2]
+
+    def test_no_duplicate_delivery(self, net):
+        sim, network = net
+        # add a redundant link making a ring: b1-b2-b3 plus b1-b3
+        network.connect_brokers("b1", "b3")
+        pub = make_client(network, "pub", "b1")
+        sub = make_client(network, "sub", "b3")
+        got = []
+        sub.subscribe("ring/topic", lambda m: got.append(m))
+        pub.publish("ring/topic", 1)
+        sim.run()
+        assert len(got) == 1
+        assert got[0].hops == 1  # direct link preferred
+
+
+class TestConstrainedEnforcement:
+    def test_subscribe_only_rejects_entity_subscription(self, net):
+        sim, network = net
+        client = make_client(network, "eve", "b1")
+        with pytest.raises(UnauthorizedError):
+            client.subscribe(
+                "Constrained/Traces/Broker/Subscribe-Only/Registration",
+                lambda m: None,
+            )
+
+    def test_entity_constrainer_may_subscribe(self, net):
+        sim, network = net
+        client = make_client(network, "svc-1", "b1")
+        client.subscribe(
+            "Constrained/Traces/svc-1/Subscribe-Only/tt/ss", lambda m: None
+        )  # no exception
+
+    def test_publish_only_rejects_entity_publish(self, net):
+        sim, network = net
+        client = make_client(network, "eve", "b1")
+        watcher = make_client(network, "watcher", "b1")
+        got = []
+        watcher.subscribe(
+            "Constrained/Traces/Broker/Publish-Only/tt/Load", lambda m: got.append(m)
+        )
+        client.publish("Constrained/Traces/Broker/Publish-Only/tt/Load", {"cpu": 1})
+        sim.run()
+        assert got == []
+        assert network.broker("b1").monitor.count("messages.rejected_constrained") == 1
+
+    def test_broker_publish_on_publish_only_allowed(self, net):
+        sim, network = net
+        watcher = make_client(network, "watcher", "b1")
+        got = []
+        watcher.subscribe(
+            "Constrained/Traces/Broker/Publish-Only/tt/Load", lambda m: got.append(m)
+        )
+        broker = network.broker("b1")
+        broker.publish_from_broker(
+            Message(
+                topic=Topic.parse("Constrained/Traces/Broker/Publish-Only/tt/Load"),
+                body={"cpu": 0.5},
+                source="b1",
+            )
+        )
+        sim.run()
+        assert len(got) == 1
+
+    def test_suppressed_broker_subscription_stays_local(self, net):
+        sim, network = net
+        # broker b3 subscribes to a Limited session topic
+        topic = "Constrained/Traces/Broker/Subscribe-Only/Limited/tt/ss"
+        got = []
+        network.broker("b3").subscribe_local(topic, lambda m: got.append(m))
+        # b1 and b2 must NOT have learned remote interest for it
+        assert network.broker("b1")._interested_brokers(topic) == set()
+        # an entity publishing at b3 still reaches the local broker handler
+        client = make_client(network, "svc", "b3")
+        client.publish(topic, {"kind": "ping_response"})
+        sim.run()
+        assert len(got) == 1
+
+
+class TestDoSDefense:
+    def test_repeated_violations_terminate_client(self, net):
+        sim, network = net
+        broker = network.broker("b1")
+        mallory = make_client(network, "mallory", "b1")
+        for _ in range(broker.violation_limit):
+            mallory.publish(
+                "Constrained/Traces/Broker/Publish-Only/tt/Load", {"fake": 1}
+            )
+            sim.run()
+        assert broker.is_blacklisted("mallory")
+        assert "mallory" not in broker.client_ids
+
+    def test_blacklisted_messages_dropped(self, net):
+        sim, network = net
+        broker = network.broker("b1")
+        mallory = make_client(network, "mallory", "b1")
+        broker.terminate_client("mallory")
+        before = broker.monitor.count("messages.received")
+        # the link still exists client-side; sends are dropped at ingress
+        mallory.publish("any/topic", 1)
+        sim.run()
+        assert broker.monitor.count("messages.received") == before
+        assert broker.monitor.count("dos.dropped_blacklisted") >= 1
+
+    def test_blacklisted_cannot_resubscribe(self, net):
+        sim, network = net
+        broker = network.broker("b1")
+        mallory = make_client(network, "mallory", "b1")
+        broker.terminate_client("mallory")
+        with pytest.raises(UnauthorizedError):
+            broker.add_client_subscription("mallory", "any/topic")
+
+    def test_violation_counts_tracked(self, net):
+        sim, network = net
+        broker = network.broker("b1")
+        mallory = make_client(network, "mallory", "b1")
+        mallory.publish("Constrained/Traces/Broker/Publish-Only/tt/Load", 1)
+        sim.run()
+        assert broker.violation_count("mallory") == 1
+
+
+class TestGuards:
+    def test_guard_can_reject(self, net):
+        sim, network = net
+        broker = network.broker("b1")
+
+        def deny_all(broker_, message, origin, from_neighbor):
+            return False
+            yield  # pragma: no cover - makes this a generator
+
+        broker.publish_guards.append(deny_all)
+        pub = make_client(network, "pub", "b1")
+        sub = make_client(network, "sub", "b1")
+        got = []
+        sub.subscribe("t/x", lambda m: got.append(m))
+        pub.publish("t/x", 1)
+        sim.run()
+        assert got == []
+        assert broker.monitor.count("messages.rejected_guard") == 1
+
+    def test_guard_charges_time(self, net):
+        sim, network = net
+        broker = network.broker("b1")
+
+        def slow_guard(broker_, message, origin, from_neighbor):
+            yield broker_.sim.timeout(50.0)
+            return True
+
+        broker.publish_guards.append(slow_guard)
+        pub = make_client(network, "pub", "b1")
+        sub = make_client(network, "sub", "b1")
+        got = []
+        sub.subscribe("t/x", lambda m: got.append(sim.now))
+        pub.publish("t/x", 1)
+        sim.run()
+        assert got and got[0] > 50.0
+
+
+class TestPublishSuppression:
+    def test_suppressed_publication_stays_local(self, net):
+        """Publish-Only + Suppress: the constrainer's publications are not
+        distributed to other brokers (section 3.1)."""
+        sim, network = net
+        topic = "Constrained/Traces/Broker/Publish-Only/Suppress/tt/Local"
+        remote = make_client(network, "remote-sub", "b3")
+        local = make_client(network, "local-sub", "b1")
+        got_remote, got_local = [], []
+        remote.subscribe(topic, lambda m: got_remote.append(m))
+        local.subscribe(topic, lambda m: got_local.append(m))
+
+        broker = network.broker("b1")
+        broker.publish_from_broker(
+            Message(topic=Topic.parse(topic), body={"x": 1}, source="b1")
+        )
+        sim.run()
+        assert got_local and not got_remote
+        assert broker.monitor.count("messages.suppressed") == 1
+
+    def test_disseminate_publication_propagates(self, net):
+        sim, network = net
+        topic = "Constrained/Traces/Broker/Publish-Only/Disseminate/tt/Wide"
+        remote = make_client(network, "remote-sub", "b3")
+        got = []
+        remote.subscribe(topic, lambda m: got.append(m))
+        network.broker("b1").publish_from_broker(
+            Message(topic=Topic.parse(topic), body={"x": 1}, source="b1")
+        )
+        sim.run()
+        assert got
+
+
+class TestBrokerFailureFlag:
+    def test_failed_broker_drops_client_traffic(self, net):
+        sim, network = net
+        client = make_client(network, "c", "b1")
+        network.broker("b1").failed = True
+        before = network.broker("b1").monitor.count("messages.received")
+        client.publish("any/topic", 1)
+        sim.run()
+        assert network.broker("b1").monitor.count("messages.received") == before
+
+
+class TestInterestRetraction:
+    def test_unsubscribe_stops_remote_forwarding(self, net):
+        """When the last subscriber at a broker unsubscribes, remote
+        brokers stop forwarding matching traffic to it."""
+        sim, network = net
+        pub = make_client(network, "pub", "b1")
+        sub = make_client(network, "sub", "b3")
+        got = []
+        handler = lambda m: got.append(m)
+        sub.subscribe("retract/topic", handler)
+        pub.publish("retract/topic", 1)
+        sim.run()
+        assert len(got) == 1
+        forwarded_before = network.broker("b1").monitor.count("messages.forwarded_out")
+
+        sub.unsubscribe("retract/topic", handler)
+        pub.publish("retract/topic", 2)
+        sim.run()
+        assert len(got) == 1  # nothing new delivered
+        # and nothing was even forwarded toward b3
+        assert network.broker("b1").monitor.count("messages.forwarded_out") \
+            == forwarded_before
+
+    def test_retraction_only_when_last_subscriber_leaves(self, net):
+        sim, network = net
+        pub = make_client(network, "pub", "b1")
+        sub_a = make_client(network, "sub-a", "b3")
+        sub_b = make_client(network, "sub-b", "b3")
+        got_a, got_b = [], []
+        handler_a = lambda m: got_a.append(m)
+        sub_a.subscribe("shared/topic", handler_a)
+        sub_b.subscribe("shared/topic", lambda m: got_b.append(m))
+
+        sub_a.unsubscribe("shared/topic", handler_a)
+        pub.publish("shared/topic", 1)
+        sim.run()
+        assert got_a == []
+        assert len(got_b) == 1  # b remains subscribed; interest not retracted
+
+    def test_broker_local_unsubscribe_retracts(self, net):
+        sim, network = net
+        handler = lambda m: None
+        network.broker("b3").subscribe_local("admin/topic", handler)
+        assert network.broker("b1")._interested_brokers("admin/topic") == {"b3"}
+        network.broker("b3").unsubscribe_local("admin/topic", handler)
+        assert network.broker("b1")._interested_brokers("admin/topic") == set()

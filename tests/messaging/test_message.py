@@ -1,0 +1,45 @@
+"""Tests for the message envelope."""
+
+from repro.messaging.message import Message
+from repro.messaging.topics import Topic
+from repro.transport.base import wire_size
+
+
+def make(topic="a/b", body=None, **kwargs):
+    return Message(
+        topic=Topic.parse(topic), body=body or {"k": 1}, source="src", **kwargs
+    )
+
+
+class TestMessage:
+    def test_ids_unique(self):
+        assert make().message_id != make().message_id
+
+    def test_with_hop_increments(self):
+        message = make()
+        hopped = message.with_hop().with_hop()
+        assert message.hops == 0
+        assert hopped.hops == 2
+        assert hopped.message_id == message.message_id
+
+    def test_wire_dict_complete(self):
+        message = make(signature={"sig": b"x"}, auth_token={"tok": 1}, encrypted=True)
+        wire = message.wire_dict()
+        assert wire["topic"] == "a/b"
+        assert wire["signature"] == {"sig": b"x"}
+        assert wire["auth_token"] == {"tok": 1}
+        assert wire["encrypted"] is True
+
+    def test_wire_size_grows_with_payload(self):
+        small = make(body={"k": 1})
+        large = make(body={"k": "x" * 2000})
+        assert wire_size(large) > wire_size(small) + 1500
+
+    def test_signed_message_larger_on_wire(self):
+        plain = make()
+        signed = make(signature={"payload": {"k": 1}, "sig": b"s" * 64})
+        assert wire_size(signed) > wire_size(plain)
+
+    def test_describe(self):
+        text = make().describe()
+        assert "a/b" in text and "src" in text

@@ -1,0 +1,68 @@
+"""Property-based routing tests over random connected graphs."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.messaging.routing import all_next_hops, bfs_next_hops, hop_distance
+
+
+@st.composite
+def connected_graphs(draw):
+    """A random connected undirected graph as an adjacency dict."""
+    n = draw(st.integers(min_value=2, max_value=12))
+    seed = draw(st.integers(min_value=0, max_value=10_000))
+    p = draw(st.floats(min_value=0.2, max_value=0.9))
+    graph = nx.gnp_random_graph(n, p, seed=seed)
+    # force connectivity by chaining components
+    components = [list(c) for c in nx.connected_components(graph)]
+    for a, b in zip(components, components[1:]):
+        graph.add_edge(a[0], b[0])
+    return {node: set(graph.neighbors(node)) for node in graph.nodes}
+
+
+class TestRoutingProperties:
+    @given(connected_graphs())
+    @settings(max_examples=50, deadline=None)
+    def test_walk_reaches_destination_in_shortest_hops(self, adjacency):
+        tables = all_next_hops(adjacency)
+        nodes = sorted(adjacency)
+        for src in nodes:
+            for dst in nodes:
+                if src == dst:
+                    continue
+                node, steps = src, 0
+                while node != dst:
+                    node = tables[node][dst]
+                    steps += 1
+                    assert steps <= len(nodes), "routing loop"
+                assert steps == hop_distance(adjacency, src, dst)
+
+    @given(connected_graphs())
+    @settings(max_examples=50, deadline=None)
+    def test_next_hop_is_a_neighbor(self, adjacency):
+        for src in adjacency:
+            table = bfs_next_hops(adjacency, src)
+            for dst, hop in table.items():
+                assert hop in adjacency[src]
+
+    @given(connected_graphs())
+    @settings(max_examples=50, deadline=None)
+    def test_distance_symmetric(self, adjacency):
+        nodes = sorted(adjacency)
+        for src in nodes[:4]:
+            for dst in nodes[:4]:
+                assert hop_distance(adjacency, src, dst) == hop_distance(
+                    adjacency, dst, src
+                )
+
+    @given(connected_graphs())
+    @settings(max_examples=50, deadline=None)
+    def test_triangle_inequality(self, adjacency):
+        nodes = sorted(adjacency)[:5]
+        for a in nodes:
+            for b in nodes:
+                for c in nodes:
+                    assert hop_distance(adjacency, a, c) <= hop_distance(
+                        adjacency, a, b
+                    ) + hop_distance(adjacency, b, c)

@@ -1,0 +1,27 @@
+"""Tests for the section 6.3 cost comparison helper."""
+
+import pytest
+
+from repro.crypto.costmodel import CryptoCostModel
+from repro.security.symmetric_opt import ChannelCostComparison, predicted_savings
+
+
+class TestPredictedSavings:
+    def test_savings_positive_with_paper_calibration(self):
+        comparison = predicted_savings(CryptoCostModel(seed=0))
+        assert comparison.savings_ms > 0
+        # the dominant term is the eliminated entity-side signature (~24.5)
+        assert comparison.savings_ms == pytest.approx(
+            (24.51 + 6.83) - (0.25 + 1.15), abs=0.01
+        )
+
+    def test_totals(self):
+        comparison = ChannelCostComparison(24.0, 6.0, 0.3, 1.2)
+        assert comparison.signing_total_ms == 30.0
+        assert comparison.symmetric_total_ms == 1.5
+        assert comparison.savings_ms == 28.5
+
+    def test_scaled_model_scales_savings(self):
+        base = predicted_savings(CryptoCostModel(seed=0))
+        doubled = predicted_savings(CryptoCostModel(seed=0, scale=2.0))
+        assert doubled.savings_ms == pytest.approx(2 * base.savings_ms)

@@ -1,0 +1,90 @@
+"""Tests for discovery queries and restrictions."""
+
+import pytest
+
+from repro.crypto.keys import KeyPair
+from repro.errors import DiscoveryError
+from repro.tdn.query import DiscoveryQuery, DiscoveryRestrictions, trace_descriptor
+from repro.util.identifiers import EntityId
+
+
+class TestDescriptor:
+    def test_format(self):
+        assert trace_descriptor("svc-1") == "Availability/Traces/svc-1"
+        assert trace_descriptor(EntityId("svc-1")) == "Availability/Traces/svc-1"
+
+
+class TestDiscoveryQuery:
+    def test_liveness_form(self):
+        query = DiscoveryQuery.parse("/Liveness/svc-1")
+        assert query.descriptor == "Availability/Traces/svc-1"
+        assert query.entity_id == "svc-1"
+
+    def test_descriptor_form(self):
+        query = DiscoveryQuery.parse("Availability/Traces/svc-1")
+        assert query.descriptor == "Availability/Traces/svc-1"
+
+    def test_for_entity(self):
+        assert DiscoveryQuery.for_entity("x").descriptor == trace_descriptor("x")
+
+    @pytest.mark.parametrize(
+        "bad", ["", "/Liveness", "/Liveness/", "/Other/svc", "Availability/Traces/"]
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(DiscoveryError):
+            DiscoveryQuery.parse(bad)
+
+
+class TestRestrictions:
+    def test_open_to_authenticated(self, ca, rng):
+        keys = KeyPair.generate(rng)
+        cert = ca.issue("anyone", keys.public)
+        restrictions = DiscoveryRestrictions.open_to_authenticated()
+        assert restrictions.permits(cert, ca, now_ms=0.0)
+
+    def test_no_credentials_denied(self, ca):
+        restrictions = DiscoveryRestrictions.open_to_authenticated()
+        assert not restrictions.permits(None, ca, now_ms=0.0)
+
+    def test_allow_only(self, ca, rng):
+        keys = KeyPair.generate(rng)
+        alice = ca.issue("alice", keys.public)
+        bob = ca.issue("bob", keys.public)
+        restrictions = DiscoveryRestrictions.allow_only("alice")
+        assert restrictions.permits(alice, ca, 0.0)
+        assert not restrictions.permits(bob, ca, 0.0)
+
+    def test_deny_wins(self, ca, rng):
+        keys = KeyPair.generate(rng)
+        alice = ca.issue("alice", keys.public)
+        restrictions = DiscoveryRestrictions(
+            allowed_subjects=frozenset({"alice"}),
+            denied_subjects=frozenset({"alice"}),
+        )
+        assert not restrictions.permits(alice, ca, 0.0)
+
+    def test_untrusted_ca_denied_silently(self, ca, rng):
+        from repro.crypto.certificates import CertificateAuthority
+
+        rogue = CertificateAuthority("rogue", rng)
+        keys = KeyPair.generate(rng)
+        cert = rogue.issue("alice", keys.public)
+        restrictions = DiscoveryRestrictions.open_to_authenticated()
+        assert not restrictions.permits(cert, ca, 0.0)  # no exception
+
+    def test_expired_credentials_denied(self, ca, rng):
+        keys = KeyPair.generate(rng)
+        cert = ca.issue("alice", keys.public, not_after_ms=100.0)
+        restrictions = DiscoveryRestrictions.open_to_authenticated()
+        assert restrictions.permits(cert, ca, 50.0)
+        assert not restrictions.permits(cert, ca, 200.0)
+
+    def test_dict_roundtrip(self):
+        for restrictions in (
+            DiscoveryRestrictions.open_to_authenticated(),
+            DiscoveryRestrictions.allow_only("a", "b"),
+            DiscoveryRestrictions(
+                allowed_subjects=frozenset({"a"}), denied_subjects=frozenset({"z"})
+            ),
+        ):
+            assert DiscoveryRestrictions.from_dict(restrictions.to_dict()) == restrictions

@@ -1,0 +1,71 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_info(self):
+        args = build_parser().parse_args(["info"])
+        assert args.command == "info"
+
+    def test_bench_choices(self):
+        args = build_parser().parse_args(["bench", "micro"])
+        assert args.experiment == "micro"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench", "nonsense"])
+
+    def test_demo_choices(self):
+        args = build_parser().parse_args(["demo", "failure", "--seed", "9"])
+        assert args.scenario == "failure"
+        assert args.seed == 9
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "IPDPS 2007" in out
+
+    def test_quickstart(self, capsys):
+        assert main(["quickstart", "--duration", "15"]) == 0
+        out = capsys.readouterr().out
+        assert "ALLS_WELL" in out
+        assert "mean heartbeat latency" in out
+
+    def test_bench_micro(self, capsys):
+        assert main(["bench", "micro"]) == 0
+        out = capsys.readouterr().out
+        assert "Sign Trace Message" in out
+        assert "24." in out
+
+    def test_bench_hops_small(self, capsys):
+        assert main(["bench", "hops", "--hops", "2", "--duration", "15"]) == 0
+        out = capsys.readouterr().out
+        assert "TCP auth 2 hops" in out
+
+    def test_bench_adaptive(self, capsys):
+        assert main(["bench", "adaptive"]) == 0
+        out = capsys.readouterr().out
+        assert "adaptive" in out and "fixed" in out
+
+    def test_demo_failure(self, capsys):
+        assert main(["demo", "failure"]) == 0
+        out = capsys.readouterr().out
+        assert "FAILED" in out
+
+    def test_demo_secure(self, capsys):
+        assert main(["demo", "secure"]) == 0
+        out = capsys.readouterr().out
+        assert "trace key distributed: True" in out
+
+    def test_demo_availability(self, capsys):
+        assert main(["demo", "availability"]) == 0
+        out = capsys.readouterr().out
+        assert "uptime" in out
+        assert "svc" in out

@@ -1,0 +1,76 @@
+"""Tests for the one-call deployment builder."""
+
+import pytest
+
+from repro import build_deployment
+from repro.transport.udp import udp_profile
+
+
+class TestBuildDeployment:
+    def test_chain_topology(self):
+        dep = build_deployment(broker_ids=["a", "b", "c"], topology="chain")
+        assert dep.network.hop_distance("a", "c") == 2
+
+    def test_star_topology(self):
+        dep = build_deployment(broker_ids=["hub", "s1", "s2"], topology="star")
+        assert dep.network.hop_distance("s1", "s2") == 2
+        assert dep.network.hop_distance("hub", "s1") == 1
+
+    def test_none_topology_with_extra_links(self):
+        dep = build_deployment(
+            broker_ids=["a", "b"], topology="none", extra_links=[("a", "b")]
+        )
+        assert dep.network.hop_distance("a", "b") == 1
+
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(ValueError):
+            build_deployment(broker_ids=["a"], topology="mesh-of-doom")
+
+    def test_every_broker_has_manager_and_guard(self):
+        dep = build_deployment(broker_ids=["a", "b"])
+        for broker_id in ("a", "b"):
+            assert broker_id in dep.managers
+            assert dep.network.broker(broker_id).publish_guards
+
+    def test_brokers_registered_with_discovery(self):
+        dep = build_deployment(broker_ids=["a", "b"])
+        assert dep.discovery.known_brokers() == ["a", "b"]
+
+    def test_tdn_cluster_size(self):
+        dep = build_deployment(broker_ids=["a"], tdn_node_count=3)
+        assert len(dep.tdn.nodes) == 3
+
+    def test_verifier_trusts_all_tdns(self):
+        dep = build_deployment(broker_ids=["a"], tdn_node_count=2)
+        assert set(dep.token_verifier.trusted_tdn_keys) == {"tdn-0", "tdn-1"}
+
+    def test_profile_is_default_for_links(self):
+        dep = build_deployment(broker_ids=["a", "b"], profile=udp_profile())
+        assert dep.network.default_profile.name == "UDP"
+
+
+class TestPrincipalFactories:
+    def test_entities_tracked_in_registry(self):
+        dep = build_deployment(broker_ids=["a"])
+        entity = dep.add_traced_entity("svc")
+        assert dep.entities["svc"] is entity
+
+    def test_trackers_tracked_in_registry(self):
+        dep = build_deployment(broker_ids=["a"])
+        tracker = dep.add_tracker("w")
+        assert dep.trackers["w"] is tracker
+
+    def test_credentials_issued_by_deployment_ca(self):
+        dep = build_deployment(broker_ids=["a"])
+        entity = dep.add_traced_entity("svc")
+        dep.ca.verify(entity.credentials.certificate, now_ms=0.0)
+
+    def test_colocation_by_machine_name(self):
+        dep = build_deployment(broker_ids=["a"])
+        e = dep.add_traced_entity("svc", machine_name="host")
+        t = dep.add_tracker("w", machine_name="host")
+        assert e.machine is t.machine
+
+    def test_manager_of(self):
+        dep = build_deployment(broker_ids=["a"])
+        assert dep.manager_of("a").broker.broker_id == "a"

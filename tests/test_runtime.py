@@ -1,0 +1,80 @@
+"""Tests for the real-time playback driver."""
+
+import asyncio
+import time
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.runtime.realtime import RealTimeDriver
+from repro.sim.engine import Simulator
+
+
+class TestRealTimeDriver:
+    def test_rejects_bad_speed(self):
+        with pytest.raises(ConfigurationError):
+            RealTimeDriver(Simulator(), speed=0.0)
+
+    def test_preserves_event_order_and_virtual_time(self):
+        sim = Simulator()
+        order = []
+        sim.call_later(30.0, lambda: order.append(("a", sim.now)))
+        sim.call_later(10.0, lambda: order.append(("b", sim.now)))
+        driver = RealTimeDriver(sim, speed=1_000.0)
+        driver.run()
+        assert order == [("b", 10.0), ("a", 30.0)]
+
+    def test_wall_time_roughly_matches_scaled_virtual(self):
+        sim = Simulator()
+        for i in range(1, 6):
+            sim.call_later(float(i) * 100.0, lambda: None)
+        driver = RealTimeDriver(sim, speed=10.0)  # 500 virtual ms -> ~50 real
+        start = time.monotonic()
+        driver.run()
+        elapsed_ms = (time.monotonic() - start) * 1000.0
+        assert 30.0 <= elapsed_ms <= 500.0
+        assert sim.now == 500.0
+
+    def test_run_until_advances_clock(self):
+        sim = Simulator()
+        sim.call_later(5.0, lambda: None)
+        driver = RealTimeDriver(sim, speed=10_000.0)
+        driver.run(until=100.0)
+        assert sim.now == 100.0
+
+    def test_on_tick_callback(self):
+        sim = Simulator()
+        sim.call_later(1.0, lambda: None)
+        sim.call_later(2.0, lambda: None)
+        ticks = []
+        driver = RealTimeDriver(sim, speed=10_000.0)
+        driver.on_tick = ticks.append
+        driver.run()
+        assert ticks == [1.0, 2.0]
+
+    def test_async_playback(self):
+        sim = Simulator()
+        order = []
+        sim.call_later(20.0, lambda: order.append(sim.now))
+        sim.call_later(40.0, lambda: order.append(sim.now))
+        driver = RealTimeDriver(sim, speed=1_000.0)
+
+        async def main():
+            side = []
+
+            async def side_task():
+                side.append("ran")
+
+            task = asyncio.ensure_future(side_task())
+            await driver.run_async()
+            await task
+            return side
+
+        side = asyncio.run(main())
+        assert order == [20.0, 40.0]
+        assert side == ["ran"]  # cooperative: other tasks got CPU time
+
+    def test_lag_reporting(self):
+        sim = Simulator()
+        driver = RealTimeDriver(sim, speed=1.0)
+        assert driver.lag_ms == 0.0

@@ -1,0 +1,157 @@
+"""Unit-level tests of the broker-side TraceManager.
+
+Integration flows are in tests/integration/; these hit the rejection and
+bookkeeping paths directly.
+"""
+
+import pytest
+
+from repro import build_deployment
+from repro.auth.credentials import EntityCredentials
+from repro.crypto.certificates import CertificateAuthority
+from repro.tracing.broker_ops import category_of
+from repro.tracing.interest import InterestCategory
+from repro.tracing.traces import TraceType
+
+
+@pytest.fixture
+def dep():
+    return build_deployment(broker_ids=["b1"], seed=800)
+
+
+def registered_entity(dep, name="svc", **kwargs):
+    entity = dep.add_traced_entity(name, **kwargs)
+    entity.start("b1")
+    dep.sim.run(until=dep.sim.now + 3_000)
+    return entity
+
+
+class TestCategoryOf:
+    def test_mapping(self):
+        assert category_of(TraceType.JOIN) is InterestCategory.CHANGE_NOTIFICATIONS
+        assert category_of(TraceType.FAILED) is InterestCategory.CHANGE_NOTIFICATIONS
+        assert category_of(TraceType.READY) is InterestCategory.STATE_TRANSITIONS
+        assert category_of(TraceType.ALLS_WELL) is InterestCategory.ALL_UPDATES
+        assert category_of(TraceType.LOAD_INFORMATION) is InterestCategory.LOAD
+        assert (
+            category_of(TraceType.NETWORK_METRICS)
+            is InterestCategory.NETWORK_METRICS
+        )
+
+    def test_gauge_has_no_category(self):
+        with pytest.raises(ValueError):
+            category_of(TraceType.GUAGE_INTEREST)
+
+
+class TestRegistrationRejections:
+    def test_rogue_ca_credentials_rejected(self, dep):
+        """An entity with credentials from an untrusted CA is refused."""
+        from repro.errors import RegistrationError
+        from repro.tracing.entity import TracedEntity
+        from repro.util.identifiers import EntityId
+
+        rogue_ca = CertificateAuthority(
+            "rogue", dep.network.streams.stream("rogue")
+        )
+        machine = dep.network.machine("machine-rogue-entity")
+        credentials = EntityCredentials.issue("rogue-svc", rogue_ca, machine.rng)
+        entity = TracedEntity(
+            sim=dep.sim,
+            entity_id=EntityId("rogue-svc"),
+            network=dep.network,
+            machine=machine,
+            credentials=credentials,
+            tdn=dep.tdn,
+            monitor=dep.monitor,
+        )
+        proc = entity.start("b1")
+        dep.sim.run(until=15_000)
+        # the TDN already refuses the topic creation
+        assert proc.triggered and not proc.ok
+        assert dep.manager_of("b1").session_of("rogue-svc") is None
+
+    def test_advertisement_owned_by_other_entity_rejected(self, dep):
+        """Registering with someone else's advertisement fails."""
+        victim = registered_entity(dep, "victim")
+        imposter = dep.add_traced_entity("imposter")
+        dep.sim.run_process(imposter.create_trace_topic())
+        imposter.connect("b1")
+        # swap in the victim's advertisement
+        imposter.advertisement = victim.advertisement
+        from repro.errors import RegistrationError
+
+        proc = dep.sim.process(imposter.register())
+        dep.sim.run(until=dep.sim.now + 15_000)
+        assert proc.triggered and not proc.ok
+        assert dep.monitor.count("trace.registrations_rejected") >= 1
+
+    def test_expired_topic_lifetime_rejected(self, dep):
+        entity = dep.add_traced_entity("svc")
+        entity.topic_lifetime_ms = 100.0  # expires almost immediately
+        dep.sim.run_process(entity.create_trace_topic())
+        entity.connect("b1")
+        dep.sim.run(until=dep.sim.now + 5_000)  # let the lifetime lapse
+        proc = dep.sim.process(entity.register())
+        dep.sim.run(until=dep.sim.now + 15_000)
+        assert proc.triggered and not proc.ok
+
+
+class TestEntityMessageHandling:
+    def test_unknown_kind_counted(self, dep):
+        entity = registered_entity(dep)
+        dep.sim.run_process(entity._send_session_message({"kind": "mystery"}))
+        dep.sim.run(until=dep.sim.now + 2_000)
+        assert dep.monitor.count("trace.entity_messages_unknown") == 1
+
+    def test_malformed_load_report_counted(self, dep):
+        entity = registered_entity(dep)
+        dep.sim.run_process(
+            entity._send_session_message({"kind": "load", "load": {"bogus": 1}})
+        )
+        dep.sim.run(until=dep.sim.now + 2_000)
+        assert dep.monitor.count("trace.load_reports_malformed") == 1
+
+    def test_malformed_state_report_counted(self, dep):
+        entity = registered_entity(dep)
+        dep.sim.run_process(
+            entity._send_session_message(
+                {"kind": "state_transition", "state": "CONFUSED"}
+            )
+        )
+        dep.sim.run(until=dep.sim.now + 2_000)
+        assert dep.monitor.count("trace.state_reports_malformed") == 1
+
+    def test_messages_processed_in_order(self, dep):
+        """The per-session worker preserves arrival order even though the
+        handlers charge different CPU durations."""
+        entity = registered_entity(dep)
+        tracker = dep.add_tracker("w")
+        tracker.connect("b1")
+        tracker.track("svc")
+        dep.sim.run(until=dep.sim.now + 2_000)
+
+        from repro.tracing.traces import EntityState
+
+        dep.sim.process(entity.report_state(EntityState.RECOVERING))
+        dep.sim.process(entity.report_state(EntityState.READY))
+        dep.sim.run(until=dep.sim.now + 5_000)
+        states = [
+            t.trace_type for t in tracker.received
+            if t.trace_type in (TraceType.RECOVERING, TraceType.READY)
+        ]
+        assert states == [TraceType.RECOVERING, TraceType.READY]
+
+
+class TestSessionBookkeeping:
+    def test_active_sessions(self, dep):
+        registered_entity(dep, "a")
+        registered_entity(dep, "b")
+        manager = dep.manager_of("b1")
+        assert len(manager.active_sessions()) == 2
+
+    def test_session_of_unknown(self, dep):
+        assert dep.manager_of("b1").session_of("ghost") is None
+
+    def test_disconnect_of_unknown_is_noop(self, dep):
+        dep.manager_of("b1").handle_client_disconnect("ghost")
+        assert dep.monitor.count("trace.published.DISCONNECT") == 0

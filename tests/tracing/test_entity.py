@@ -1,0 +1,105 @@
+"""Unit-level tests of the traced entity's error paths and edge cases."""
+
+import pytest
+
+from repro import build_deployment
+from repro.errors import RegistrationError
+from repro.tracing.traces import EntityState
+
+
+@pytest.fixture
+def dep():
+    return build_deployment(broker_ids=["b1"], seed=1200)
+
+
+class TestStartupPreconditions:
+    def test_register_before_topic_creation_fails(self, dep):
+        entity = dep.add_traced_entity("svc")
+        with pytest.raises(RegistrationError):
+            dep.sim.run_process(entity.register())
+
+    def test_session_required_for_reports(self, dep):
+        entity = dep.add_traced_entity("svc")
+        with pytest.raises(RegistrationError):
+            dep.sim.run_process(entity.report_state(EntityState.READY))
+        with pytest.raises(RegistrationError):
+            dep.sim.run_process(entity.disable_tracing())
+
+    def test_token_delivery_requires_registration(self, dep):
+        entity = dep.add_traced_entity("svc")
+        dep.sim.run_process(entity.create_trace_topic())
+        with pytest.raises(RegistrationError):
+            dep.sim.run_process(entity.deliver_token())
+
+
+class TestRegistrationTimeout:
+    def test_times_out_when_broker_unresponsive(self, dep):
+        entity = dep.add_traced_entity("svc")
+        entity.registration_timeout_ms = 2_000.0
+        dep.network.fail_broker("b1")  # broker drops everything
+        proc = entity.start("b1")
+        dep.sim.run(until=30_000)
+        assert proc.triggered and not proc.ok
+        with pytest.raises(RegistrationError):
+            _ = proc.value
+
+
+class TestStateMachine:
+    def test_full_lifecycle(self, dep):
+        entity = dep.add_traced_entity("svc")
+        entity.start("b1")
+        dep.sim.run(until=3_000)
+        assert entity.state is EntityState.READY
+        dep.sim.run_process(entity.report_state(EntityState.RECOVERING))
+        assert entity.state is EntityState.RECOVERING
+        dep.sim.run_process(entity.report_state(EntityState.READY))
+        dep.sim.run_process(entity.report_state(EntityState.SHUTDOWN))
+        assert entity.state is EntityState.SHUTDOWN
+
+    def test_shutdown_is_terminal(self, dep):
+        entity = dep.add_traced_entity("svc")
+        entity.start("b1")
+        dep.sim.run(until=3_000)
+        dep.sim.run_process(entity.shutdown())
+        with pytest.raises(ValueError):
+            dep.sim.run_process(entity.report_state(EntityState.READY))
+
+    def test_same_state_report_allowed(self, dep):
+        """Re-announcing the current state is a refresh, not a transition."""
+        entity = dep.add_traced_entity("svc")
+        entity.start("b1")
+        dep.sim.run(until=3_000)
+        dep.sim.run_process(entity.report_state(EntityState.READY))
+        assert entity.state is EntityState.READY
+
+
+class TestCrashSemantics:
+    def test_crashed_entity_ignores_pings(self, dep):
+        entity = dep.add_traced_entity("svc")
+        entity.start("b1")
+        dep.sim.run(until=3_000)
+        answered_before = dep.monitor.count("entity.pings_answered")
+        entity.crash()
+        dep.sim.run(until=10_000)
+        assert dep.monitor.count("entity.pings_answered") <= answered_before + 1
+
+    def test_silent_entity_ignores_pings(self, dep):
+        entity = dep.add_traced_entity("svc")
+        entity.start("b1")
+        dep.sim.run(until=3_000)
+        dep.sim.run_process(entity.disable_tracing())
+        answered = dep.monitor.count("entity.pings_answered")
+        dep.sim.run(until=15_000)
+        assert dep.monitor.count("entity.pings_answered") == answered
+
+
+class TestTrackerPreconditions:
+    def test_track_before_connect_raises(self, dep):
+        from repro.errors import NotConnectedError
+
+        tracker = dep.add_tracker("w")
+        proc = tracker.track("anything")
+        dep.sim.run(until=1_000)
+        assert proc.triggered and not proc.ok
+        with pytest.raises(NotConnectedError):
+            _ = proc.value

@@ -1,0 +1,105 @@
+"""Tests for adaptive ping scheduling and the failure detector."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.tracing.failure import AdaptivePingPolicy, DetectorVerdict, FailureDetector
+from repro.tracing.pings import Ping, PingHistory, PingResponse
+
+
+def full_healthy_history(rtt=5.0):
+    history = PingHistory()
+    for i in range(10):
+        history.record_ping(Ping(i, i * 100.0))
+        history.record_response(
+            PingResponse(i, i * 100.0, i * 100.0 + 1), i * 100.0 + rtt
+        )
+    return history
+
+
+class TestAdaptivePolicy:
+    def test_misses_shrink_interval(self):
+        policy = AdaptivePingPolicy(base_interval_ms=1000.0, min_interval_ms=100.0)
+        history = PingHistory()
+        history.record_ping(Ping(0, 0.0))
+        history.record_ping(Ping(1, 100.0))
+        interval = policy.next_interval_ms(1000.0, history, 5_000.0, now_ms=2_000.0)
+        assert interval == pytest.approx(250.0)  # two misses: x0.5^2
+
+    def test_shrink_floors_at_min(self):
+        policy = AdaptivePingPolicy(base_interval_ms=1000.0, min_interval_ms=400.0)
+        history = PingHistory()
+        for i in range(6):
+            history.record_ping(Ping(i, i * 10.0))
+        interval = policy.next_interval_ms(1000.0, history, 5_000.0, now_ms=10_000.0)
+        assert interval == 400.0
+
+    def test_mature_stable_entity_earns_growth(self):
+        policy = AdaptivePingPolicy(maturity_ms=30_000.0)
+        history = full_healthy_history()
+        interval = policy.next_interval_ms(
+            1000.0, history, active_duration_ms=60_000.0, now_ms=2_000.0
+        )
+        assert interval == pytest.approx(1250.0)
+
+    def test_growth_caps_at_max(self):
+        policy = AdaptivePingPolicy(max_interval_ms=1100.0)
+        history = full_healthy_history()
+        interval = policy.next_interval_ms(1000.0, history, 60_000.0, 2_000.0)
+        assert interval == 1100.0
+
+    def test_young_entity_no_growth(self):
+        policy = AdaptivePingPolicy(maturity_ms=30_000.0)
+        history = full_healthy_history()
+        interval = policy.next_interval_ms(
+            1000.0, history, active_duration_ms=5_000.0, now_ms=2_000.0
+        )
+        assert interval == 1000.0
+
+    def test_recovery_drifts_back_to_base(self):
+        policy = AdaptivePingPolicy(base_interval_ms=1000.0)
+        history = full_healthy_history()
+        # currently shrunk to 250 after earlier misses, now healthy again
+        interval = policy.next_interval_ms(250.0, history, 5_000.0, 2_000.0)
+        assert 250.0 < interval <= 1000.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            AdaptivePingPolicy(min_interval_ms=2000.0, base_interval_ms=1000.0)
+        with pytest.raises(ConfigurationError):
+            AdaptivePingPolicy(growth_factor=0.9)
+        with pytest.raises(ConfigurationError):
+            AdaptivePingPolicy(shrink_factor=1.0)
+
+
+class TestFailureDetector:
+    def test_escalation_path(self):
+        detector = FailureDetector(suspicion_threshold=3, failure_threshold=6)
+        assert detector.judge(0) is DetectorVerdict.ALIVE
+        assert detector.judge(2) is DetectorVerdict.ALIVE
+        assert detector.judge(3) is DetectorVerdict.SUSPECT
+        assert detector.judge(5) is DetectorVerdict.SUSPECT
+        assert detector.judge(6) is DetectorVerdict.FAILED
+
+    def test_suspicion_clears_on_response(self):
+        detector = FailureDetector()
+        detector.judge(4)
+        assert detector.verdict is DetectorVerdict.SUSPECT
+        assert detector.judge(0) is DetectorVerdict.ALIVE
+
+    def test_failed_is_terminal(self):
+        detector = FailureDetector()
+        detector.judge(10)
+        assert detector.judge(0) is DetectorVerdict.FAILED
+
+    def test_reset_for_reregistration(self):
+        detector = FailureDetector()
+        detector.judge(10)
+        detector.reset()
+        assert detector.verdict is DetectorVerdict.ALIVE
+
+    def test_thresholds_validated(self):
+        with pytest.raises(ConfigurationError):
+            FailureDetector(suspicion_threshold=5, failure_threshold=5)
+        with pytest.raises(ConfigurationError):
+            FailureDetector(suspicion_threshold=0, failure_threshold=3)

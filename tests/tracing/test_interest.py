@@ -1,0 +1,92 @@
+"""Tests for interest gauging state (section 3.5)."""
+
+import pytest
+
+from repro.errors import InterestError
+from repro.tracing.interest import (
+    ALL_CATEGORIES,
+    InterestCategory,
+    InterestRegistry,
+)
+
+
+class TestCategories:
+    def test_five_categories(self):
+        assert len(ALL_CATEGORIES) == 5
+
+    def test_parse_many(self):
+        parsed = InterestCategory.parse_many(["load", "all_updates"])
+        assert parsed == frozenset(
+            {InterestCategory.LOAD, InterestCategory.ALL_UPDATES}
+        )
+
+    def test_parse_unknown(self):
+        with pytest.raises(InterestError):
+            InterestCategory.parse_many(["everything"])
+
+
+class TestRegistry:
+    def test_record_and_query(self):
+        registry = InterestRegistry(ttl_ms=1000.0)
+        registry.record("t1", frozenset({InterestCategory.LOAD}), now_ms=0.0)
+        assert registry.interested_in(InterestCategory.LOAD, 500.0)
+        assert not registry.interested_in(InterestCategory.ALL_UPDATES, 500.0)
+
+    def test_no_interest_initially(self):
+        registry = InterestRegistry()
+        assert not registry.any_interest(0.0)
+        for category in ALL_CATEGORIES:
+            assert not registry.interested_in(category, 0.0)
+
+    def test_ttl_expiry(self):
+        registry = InterestRegistry(ttl_ms=1000.0)
+        registry.record("t1", frozenset({InterestCategory.LOAD}), now_ms=0.0)
+        assert registry.interested_in(InterestCategory.LOAD, 999.0)
+        assert not registry.interested_in(InterestCategory.LOAD, 1001.0)
+        assert len(registry) == 0  # reaped
+
+    def test_refresh_extends_ttl(self):
+        registry = InterestRegistry(ttl_ms=1000.0)
+        registry.record("t1", frozenset({InterestCategory.LOAD}), now_ms=0.0)
+        registry.record("t1", frozenset({InterestCategory.LOAD}), now_ms=900.0)
+        assert registry.interested_in(InterestCategory.LOAD, 1800.0)
+
+    def test_empty_response_retracts(self):
+        registry = InterestRegistry()
+        registry.record("t1", frozenset({InterestCategory.LOAD}), 0.0)
+        registry.record("t1", frozenset(), 1.0)
+        assert not registry.any_interest(2.0)
+
+    def test_explicit_retract(self):
+        registry = InterestRegistry()
+        registry.record("t1", ALL_CATEGORIES, 0.0)
+        registry.retract("t1")
+        assert not registry.any_interest(1.0)
+
+    def test_trackers_for(self):
+        registry = InterestRegistry()
+        registry.record("t2", frozenset({InterestCategory.LOAD}), 0.0)
+        registry.record("t1", ALL_CATEGORIES, 0.0)
+        assert registry.trackers_for(InterestCategory.LOAD, 1.0) == ["t1", "t2"]
+        assert registry.trackers_for(InterestCategory.ALL_UPDATES, 1.0) == ["t1"]
+
+    def test_metadata_stored(self):
+        registry = InterestRegistry()
+        registry.record(
+            "t1",
+            ALL_CATEGORIES,
+            0.0,
+            response_topic="Constrained/x/y",
+            credential_subject="tracker-one",
+        )
+        assert registry.response_topic_of("t1") == "Constrained/x/y"
+        assert registry.subject_of("t1") == "tracker-one"
+        assert registry.response_topic_of("ghost") is None
+
+    def test_active_categories_union(self):
+        registry = InterestRegistry()
+        registry.record("t1", frozenset({InterestCategory.LOAD}), 0.0)
+        registry.record("t2", frozenset({InterestCategory.ALL_UPDATES}), 0.0)
+        assert registry.active_categories(1.0) == frozenset(
+            {InterestCategory.LOAD, InterestCategory.ALL_UPDATES}
+        )

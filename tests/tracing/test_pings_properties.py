@@ -1,0 +1,87 @@
+"""Property-based tests on ping-history invariants."""
+
+from hypothesis import given, strategies as st
+
+from repro.tracing.pings import Ping, PingHistory, PingResponse
+
+
+# a scenario: for each ping, whether it is answered and with what RTT
+scenario = st.lists(
+    st.tuples(
+        st.booleans(),  # answered?
+        st.floats(min_value=0.5, max_value=50.0, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+def play(events, spacing=100.0):
+    """Feed a scenario into a history; returns (history, final_time)."""
+    history = PingHistory()
+    t = 0.0
+    for number, (answered, rtt) in enumerate(events):
+        t = number * spacing
+        history.record_ping(Ping(number, t))
+        if answered:
+            history.record_response(
+                PingResponse(number, t, t + rtt / 2), received_ms=t + rtt
+            )
+    return history, t
+
+
+class TestHistoryInvariants:
+    @given(scenario)
+    def test_window_never_exceeds_ten(self, events):
+        history, _ = play(events)
+        assert len(history) <= 10
+
+    @given(scenario)
+    def test_loss_rate_bounded(self, events):
+        history, t = play(events)
+        rate = history.loss_rate(t + 10_000.0, 400.0)
+        assert 0.0 <= rate <= 1.0
+
+    @given(scenario)
+    def test_misses_bounded_by_window(self, events):
+        history, t = play(events)
+        misses = history.consecutive_misses(t + 10_000.0, 400.0)
+        assert 0 <= misses <= 10
+
+    @given(scenario)
+    def test_misses_equal_trailing_unanswered(self, events):
+        history, t = play(events)
+        # compute trailing unanswered within the window by hand
+        window = events[-10:]
+        expected = 0
+        for answered, _ in reversed(window):
+            if answered:
+                break
+            expected += 1
+        assert history.consecutive_misses(t + 10_000.0, 400.0) == expected
+
+    @given(scenario)
+    def test_rtts_positive_and_counted(self, events):
+        history, _ = play(events)
+        answered_in_window = sum(1 for a, _ in events[-10:] if a)
+        rtts = history.rtts()
+        assert len(rtts) == answered_in_window
+        assert all(r > 0 for r in rtts)
+
+    @given(scenario)
+    def test_all_answered_means_zero_loss(self, events):
+        if not all(a for a, _ in events):
+            return
+        history, t = play(events)
+        assert history.loss_rate(t + 10_000.0, 400.0) == 0.0
+        assert history.consecutive_misses(t + 10_000.0, 400.0) == 0
+
+    @given(scenario)
+    def test_metrics_match_window_stats(self, events):
+        history, t = play(events)
+        metrics = history.network_metrics(t + 10_000.0, 400.0)
+        if not any(a for a, _ in events[-10:]):
+            assert metrics is None
+        else:
+            rtts = history.rtts()
+            assert metrics.mean_rtt_ms == sum(rtts) / len(rtts)

@@ -1,0 +1,107 @@
+"""Tests for simulated links."""
+
+import random
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.transport.link import DuplexLink, Link
+from repro.transport.tcp import tcp_profile
+from repro.transport.udp import udp_profile
+
+
+def collect_link(sim, profile, seed=0):
+    received = []
+    link = Link(
+        sim, profile,
+        receiver=lambda payload: received.append((sim.now, payload)),
+        rng=random.Random(seed),
+        name="test-link",
+    )
+    return link, received
+
+
+class TestDelivery:
+    def test_delivers_after_latency(self, sim):
+        link, received = collect_link(sim, tcp_profile(jitter_ms=0.0))
+        receipt = link.send({"n": 1})
+        assert receipt.delivered
+        sim.run()
+        assert len(received) == 1
+        assert received[0][0] == pytest.approx(receipt.latency_ms)
+
+    def test_tcp_preserves_order(self, sim):
+        link, received = collect_link(sim, tcp_profile(jitter_ms=2.0), seed=3)
+        for i in range(50):
+            link.send(i)
+        sim.run()
+        assert [p for _, p in received] == list(range(50))
+
+    def test_udp_can_reorder(self, sim):
+        link, received = collect_link(sim, udp_profile(jitter_ms=1.5), seed=4)
+        for i in range(200):
+            link.send(i)
+        sim.run()
+        payloads = [p for _, p in received]
+        assert sorted(payloads) == list(range(200))
+        assert payloads != list(range(200))  # at least one reordering
+
+    def test_udp_drops_on_loss(self, sim):
+        link, received = collect_link(
+            sim, udp_profile(loss_probability=0.5), seed=5
+        )
+        receipts = [link.send(i) for i in range(400)]
+        sim.run()
+        delivered = sum(1 for r in receipts if r.delivered)
+        assert delivered == len(received)
+        assert 120 < delivered < 280  # ~50% of 400
+        assert link.dropped_count == 400 - delivered
+
+    def test_tcp_retransmits_instead_of_dropping(self, sim):
+        profile = tcp_profile(loss_probability=0.3, retransmit_timeout_ms=40.0)
+        link, received = collect_link(sim, profile, seed=6)
+        receipts = [link.send(i) for i in range(200)]
+        sim.run()
+        assert len(received) == 200  # nothing lost
+        assert link.retransmit_count > 0
+        retransmitted = [r for r in receipts if r.retransmits > 0]
+        assert retransmitted
+        # every retransmission pays at least one timeout penalty
+        assert all(
+            r.latency_ms >= 40.0 * r.retransmits for r in retransmitted
+        )
+        # ordered delivery means later sends can inherit the delay
+        # (head-of-line blocking): the very first receipt, if clean, is fast
+        first = receipts[0]
+        if first.retransmits == 0:
+            assert first.latency_ms < 40.0
+
+    def test_counters(self, sim):
+        link, _ = collect_link(sim, tcp_profile())
+        link.send(1)
+        link.send(2)
+        assert link.sent_count == 2
+        assert link.delivered_count == 2
+
+
+class TestDuplexLink:
+    def test_both_directions(self, sim):
+        at_a, at_b = [], []
+        duplex = DuplexLink(
+            sim, tcp_profile(),
+            receiver_a=at_a.append, receiver_b=at_b.append,
+            rng=random.Random(0),
+        )
+        duplex.a_to_b.send("to-b")
+        duplex.b_to_a.send("to-a")
+        sim.run()
+        assert at_b == ["to-b"]
+        assert at_a == ["to-a"]
+
+    def test_profile_exposed(self, sim):
+        duplex = DuplexLink(
+            sim, udp_profile(),
+            receiver_a=lambda p: None, receiver_b=lambda p: None,
+            rng=random.Random(0),
+        )
+        assert duplex.profile.name == "UDP"

@@ -1,0 +1,147 @@
+"""Tests for the canonical serialization layer."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.serialization import canonical_decode, canonical_encode
+
+# strategy for canonically-encodable values
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(10**30), max_value=10**30),
+    st.floats(allow_nan=False),
+    st.text(max_size=40),
+    st.binary(max_size=40),
+)
+values = st.recursive(
+    scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=5),
+        st.dictionaries(st.text(max_size=10), children, max_size=5),
+    ),
+    max_leaves=20,
+)
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            True,
+            False,
+            0,
+            -1,
+            12345678901234567890,
+            0.0,
+            -2.5,
+            "",
+            "hello",
+            "uniçode ☃",
+            b"",
+            b"\x00\xff" * 10,
+            [],
+            [1, "two", None],
+            {},
+            {"a": 1, "b": [True, {"c": b"x"}]},
+        ],
+    )
+    def test_examples(self, value):
+        decoded = canonical_decode(canonical_encode(value))
+        assert decoded == value
+        # tuples decode as lists — covered separately
+
+    def test_tuple_decodes_as_list(self):
+        assert canonical_decode(canonical_encode((1, 2))) == [1, 2]
+
+    def test_float_bit_exact(self):
+        value = 0.1 + 0.2
+        assert canonical_decode(canonical_encode(value)) == value
+
+    def test_bool_distinct_from_int(self):
+        assert canonical_encode(True) != canonical_encode(1)
+        assert canonical_encode(False) != canonical_encode(0)
+
+    @given(values)
+    def test_roundtrip_property(self, value):
+        encoded = canonical_encode(value)
+        decoded = canonical_decode(encoded)
+        assert decoded == _tuples_to_lists(value)
+
+
+class TestCanonicality:
+    def test_dict_order_irrelevant(self):
+        a = canonical_encode({"x": 1, "y": 2})
+        b = canonical_encode({"y": 2, "x": 1})
+        assert a == b
+
+    def test_nested_dict_order_irrelevant(self):
+        a = canonical_encode({"outer": {"x": 1, "y": 2}})
+        b = canonical_encode({"outer": {"y": 2, "x": 1}})
+        assert a == b
+
+    def test_distinct_values_distinct_encodings(self):
+        seen = set()
+        for value in [None, True, False, 0, 1, "", "0", b"", b"0", [], {}, [0], {"a": 0}]:
+            encoding = canonical_encode(value)
+            assert encoding not in seen
+            seen.add(encoding)
+
+    @given(values, values)
+    def test_injective_property(self, a, b):
+        if _tuples_to_lists(a) != _tuples_to_lists(b):
+            assert canonical_encode(a) != canonical_encode(b)
+
+
+class TestErrors:
+    def test_rejects_non_str_dict_keys(self):
+        with pytest.raises(TypeError):
+            canonical_encode({1: "x"})
+
+    def test_rejects_unsupported_types(self):
+        with pytest.raises(TypeError):
+            canonical_encode(object())
+        with pytest.raises(TypeError):
+            canonical_encode({"a": set()})
+
+    def test_rejects_trailing_bytes(self):
+        data = canonical_encode(1) + b"garbage"
+        with pytest.raises(ValueError):
+            canonical_decode(data)
+
+    def test_rejects_truncated(self):
+        data = canonical_encode("hello world")
+        with pytest.raises(ValueError):
+            canonical_decode(data[:-3])
+
+    def test_rejects_unknown_tag(self):
+        with pytest.raises(ValueError):
+            canonical_decode(b"Z")
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            canonical_decode(b"")
+
+    def test_rejects_unsorted_dict_keys(self):
+        # hand-craft a dict with keys out of canonical order
+        good = canonical_encode({"a": 1, "b": 2})
+        # encode b-then-a manually by swapping entries
+        a_entry = canonical_encode("a") + canonical_encode(1)
+        b_entry = canonical_encode("b") + canonical_encode(2)
+        bad = b"d" + b_entry + a_entry + b"e"
+        assert good != bad
+        with pytest.raises(ValueError):
+            canonical_decode(bad)
+
+    def test_rejects_unterminated_list(self):
+        with pytest.raises(ValueError):
+            canonical_decode(b"l" + canonical_encode(1))
+
+
+def _tuples_to_lists(value):
+    if isinstance(value, (list, tuple)):
+        return [_tuples_to_lists(v) for v in value]
+    if isinstance(value, dict):
+        return {k: _tuples_to_lists(v) for k, v in value.items()}
+    return value

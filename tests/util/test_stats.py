@@ -1,0 +1,136 @@
+"""Tests for repro.util.stats."""
+
+import math
+import statistics
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.stats import RunningStats, StatSummary, percentile, summarize
+
+finite_floats = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+
+
+class TestRunningStats:
+    def test_mean_and_std(self):
+        rs = RunningStats()
+        rs.extend([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0])
+        assert rs.mean == pytest.approx(5.0)
+        assert rs.std_dev == pytest.approx(statistics.stdev([2, 4, 4, 4, 5, 5, 7, 9]))
+
+    def test_std_error(self):
+        samples = [1.0, 2.0, 3.0, 4.0]
+        rs = RunningStats()
+        rs.extend(samples)
+        assert rs.std_error == pytest.approx(
+            statistics.stdev(samples) / math.sqrt(4)
+        )
+
+    def test_min_max(self):
+        rs = RunningStats()
+        rs.extend([3.0, -1.0, 10.0])
+        assert rs.minimum == -1.0
+        assert rs.maximum == 10.0
+
+    def test_single_sample(self):
+        rs = RunningStats()
+        rs.add(42.0)
+        assert rs.mean == 42.0
+        assert rs.std_dev == 0.0
+        assert rs.std_error == 0.0
+
+    def test_empty_raises(self):
+        rs = RunningStats()
+        with pytest.raises(ValueError):
+            _ = rs.mean
+        with pytest.raises(ValueError):
+            rs.summary()
+
+    def test_merge_matches_combined(self):
+        xs = [1.0, 5.0, 2.0]
+        ys = [10.0, 0.5, 3.0, 7.0]
+        a, b, combined = RunningStats(), RunningStats(), RunningStats()
+        a.extend(xs)
+        b.extend(ys)
+        combined.extend(xs + ys)
+        merged = a.merge(b)
+        assert merged.count == combined.count
+        assert merged.mean == pytest.approx(combined.mean)
+        assert merged.std_dev == pytest.approx(combined.std_dev)
+        assert merged.minimum == combined.minimum
+        assert merged.maximum == combined.maximum
+
+    def test_merge_with_empty(self):
+        a = RunningStats()
+        b = RunningStats()
+        b.extend([1.0, 2.0])
+        assert a.merge(b).mean == pytest.approx(1.5)
+        assert b.merge(a).mean == pytest.approx(1.5)
+
+    @given(st.lists(finite_floats, min_size=2, max_size=50))
+    def test_matches_statistics_module(self, samples):
+        rs = RunningStats()
+        rs.extend(samples)
+        assert rs.mean == pytest.approx(statistics.fmean(samples), abs=1e-6)
+        assert rs.std_dev == pytest.approx(statistics.stdev(samples), abs=1e-5)
+
+    @given(
+        st.lists(finite_floats, min_size=1, max_size=20),
+        st.lists(finite_floats, min_size=1, max_size=20),
+    )
+    def test_merge_property(self, xs, ys):
+        a, b, c = RunningStats(), RunningStats(), RunningStats()
+        a.extend(xs)
+        b.extend(ys)
+        c.extend(xs + ys)
+        merged = a.merge(b)
+        assert merged.mean == pytest.approx(c.mean, abs=1e-6)
+        assert merged.variance == pytest.approx(c.variance, rel=1e-6, abs=1e-6)
+
+
+class TestSummary:
+    def test_summarize(self):
+        summary = summarize([1.0, 2.0, 3.0])
+        assert isinstance(summary, StatSummary)
+        assert summary.count == 3
+        assert summary.mean == pytest.approx(2.0)
+
+    def test_row_format(self):
+        summary = summarize([72.68, 72.68])
+        row = summary.row("2 hops")
+        assert "2 hops" in row
+        assert "72.68" in row
+
+    def test_header_aligns_with_row(self):
+        header = StatSummary.header()
+        assert "Mean" in header and "Std.Dev" in header
+
+
+class TestPercentile:
+    def test_median(self):
+        assert percentile([1.0, 2.0, 3.0], 50) == 2.0
+
+    def test_interpolation(self):
+        assert percentile([0.0, 10.0], 25) == pytest.approx(2.5)
+
+    def test_extremes(self):
+        data = [5.0, 1.0, 9.0]
+        assert percentile(data, 0) == 1.0
+        assert percentile(data, 100) == 9.0
+
+    def test_single_sample(self):
+        assert percentile([7.0], 99) == 7.0
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+    @given(st.lists(finite_floats, min_size=1, max_size=30))
+    def test_bounded_by_min_max(self, samples):
+        for q in (0, 25, 50, 75, 100):
+            p = percentile(samples, q)
+            assert min(samples) <= p <= max(samples)
