@@ -11,11 +11,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.bench.topology import hops_chain
-from repro.tracing.traces import TraceType
 from repro.transport.base import TransportProfile
 from repro.transport.tcp import TCP_CLUSTER
 from repro.transport.udp import UDP_CLUSTER
-from repro.util.stats import StatSummary, summarize
+from repro.util.stats import StatSummary
 
 #: Virtual time allotted for startup (registration, token, interest).
 SETUP_MS = 3_000.0
@@ -51,8 +50,10 @@ def run_hops_case(
     tracker.track("traced-entity")
     dep.sim.run(until=SETUP_MS + duration_ms)
 
-    latencies = tracker.latencies(TraceType.ALLS_WELL)
-    if not latencies:
+    # the deployment's only tracker feeds this instrument, so the
+    # registry histogram is exactly the per-tracker sample set
+    heartbeats = dep.metrics.histogram("tracker.trace.latency_ms.alls_well")
+    if heartbeats.count == 0:
         raise RuntimeError(
             f"no heartbeats received for hops={hops} {profile.name} "
             f"secured={secured}"
@@ -62,7 +63,7 @@ def run_hops_case(
         transport=profile.name,
         secured=secured,
         symmetric_channel=use_symmetric_channel,
-        summary=summarize(latencies),
+        summary=heartbeats.summary(),
     )
 
 

@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from repro.bench.topology import hops_chain
 from repro.transport.base import TransportProfile
 from repro.transport.tcp import TCP_CLUSTER
-from repro.util.stats import StatSummary, summarize
+from repro.util.stats import StatSummary
 
 
 @dataclass(frozen=True, slots=True)
@@ -64,17 +64,15 @@ def run_keydist_case(
 
     dep.sim.run(until=dep.sim.now + 10_000.0)
 
-    latencies = []
-    for tracker in trackers:
-        latency = tracker.key_distribution_latency_ms(str(entity.entity_id))
-        if latency is not None:
-            latencies.append(latency)
-    if len(latencies) < tracker_count // 2:
+    # every tracker shares the deployment registry and contributes at most
+    # one gauge-to-key round, so this histogram is the sample set
+    rounds = dep.metrics.histogram("tracker.keydist.latency_ms")
+    if rounds.count < tracker_count // 2:
         raise RuntimeError(
-            f"only {len(latencies)}/{tracker_count} trackers were keyed at "
+            f"only {rounds.count}/{tracker_count} trackers were keyed at "
             f"hops={hops}"
         )
-    return KeyDistResult(hops=hops, samples=len(latencies), summary=summarize(latencies))
+    return KeyDistResult(hops=hops, samples=rounds.count, summary=rounds.summary())
 
 
 def run_keydist_sweep(

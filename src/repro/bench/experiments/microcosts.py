@@ -21,6 +21,7 @@ from repro.crypto.aes import generate_aes_key
 from repro.crypto.costmodel import CryptoCostModel, CryptoOp
 from repro.crypto.keys import SymmetricKey
 from repro.crypto.rsa import generate_rsa_keypair
+from repro.obs import MetricsRegistry
 from repro.util.stats import StatSummary, summarize
 
 #: Mapping of Table 3 micro rows to cost-model operations.
@@ -44,12 +45,24 @@ class MicroResult:
 
 
 def run_calibrated_micro(samples: int = 500, seed: int = 3) -> list[MicroResult]:
-    """Sample every Table 3 micro operation from the calibrated model."""
-    model = CryptoCostModel(seed=seed)
+    """Sample every Table 3 micro operation from the calibrated model.
+
+    The samples flow through a metrics-bound model into ``crypto.ms.*``
+    histograms; the reported statistics are read back from the registry.
+    """
+    registry = MetricsRegistry()
+    model = CryptoCostModel(seed=seed, metrics=registry)
     results = []
     for label, op in MICRO_ROWS:
-        values = [model.sample_ms(op) for _ in range(samples)]
-        results.append(MicroResult(label=label, op=op, calibrated=summarize(values)))
+        for _ in range(samples):
+            model.sample_ms(op)
+        results.append(
+            MicroResult(
+                label=label,
+                op=op,
+                calibrated=registry.histogram(f"crypto.ms.{op.value}").summary(),
+            )
+        )
     return results
 
 

@@ -14,6 +14,9 @@ Commands
 ``demo``
     Run a scenario: ``failure`` (crash detection), ``secure``
     (confidential traces), ``availability`` (archive report).
+``metrics``
+    Run the quickstart scenario and print the full repro.obs metrics
+    snapshot (text, or JSON with ``--json``).
 """
 
 from __future__ import annotations
@@ -59,6 +62,30 @@ def _cmd_quickstart(args) -> int:
         print(f"  {kind:<20s} x{count}")
     if latencies:
         print(f"mean heartbeat latency: {sum(latencies)/len(latencies):.2f} ms")
+    return 0
+
+
+def _cmd_metrics(args) -> int:
+    """Run the quickstart scenario, then dump the metrics snapshot."""
+    from repro import build_deployment
+
+    dep = build_deployment(broker_ids=["b1", "b2", "b3"], seed=args.seed)
+    entity = dep.add_traced_entity("demo-service")
+    tracker = dep.add_tracker("demo-tracker")
+    tracker.connect("b3")
+    entity.start("b1")
+    dep.sim.run(until=3_000)
+    tracker.track("demo-service")
+    dep.sim.run(until=float(args.duration) * 1000.0)
+
+    if args.json:
+        print(dep.metrics.to_json())
+    else:
+        print(dep.metrics.render_text())
+        if len(dep.journal):
+            print()
+            print(f"journal: {len(dep.journal)} events, "
+                  f"kinds: {', '.join(dep.journal.kinds())}")
     return 0
 
 
@@ -266,6 +293,15 @@ def build_parser() -> argparse.ArgumentParser:
     demo.add_argument("scenario", choices=["failure", "secure", "availability"])
     demo.add_argument("--seed", type=int, default=7)
 
+    metrics = sub.add_parser(
+        "metrics", help="run the quickstart scenario and dump the metrics snapshot"
+    )
+    metrics.add_argument("--seed", type=int, default=42)
+    metrics.add_argument("--duration", type=float, default=30.0,
+                         help="virtual seconds to simulate")
+    metrics.add_argument("--json", action="store_true",
+                         help="emit the snapshot as JSON")
+
     return parser
 
 
@@ -276,6 +312,7 @@ def main(argv: list[str] | None = None) -> int:
         "quickstart": _cmd_quickstart,
         "bench": _cmd_bench,
         "demo": _cmd_demo,
+        "metrics": _cmd_metrics,
     }
     return handlers[args.command](args)
 

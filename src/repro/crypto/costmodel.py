@@ -16,9 +16,12 @@ from __future__ import annotations
 import enum
 import random
 from dataclasses import dataclass
-from typing import Mapping
+from typing import TYPE_CHECKING, Mapping
 
 from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:
+    from repro.obs import MetricsRegistry
 
 
 class CryptoOp(enum.Enum):
@@ -106,6 +109,7 @@ class CryptoCostModel:
         calibration: Mapping[CryptoOp, OpCost] | None = None,
         seed: int | None = None,
         scale: float = 1.0,
+        metrics: "MetricsRegistry | None" = None,
     ) -> None:
         """``scale`` uniformly rescales all costs (e.g. to model faster CPUs)."""
         if scale <= 0:
@@ -116,6 +120,11 @@ class CryptoCostModel:
             raise ConfigurationError(f"calibration missing ops: {missing}")
         self._rng = random.Random(seed)
         self.scale = scale
+        self._metrics = metrics
+
+    def bind_metrics(self, metrics: "MetricsRegistry | None") -> None:
+        """Route every subsequent sample into ``crypto.*`` instruments."""
+        self._metrics = metrics
 
     def mean_ms(self, op: CryptoOp) -> float:
         """Deterministic mean cost (used by analytic predictions in tests)."""
@@ -125,7 +134,12 @@ class CryptoCostModel:
         """One random cost draw for ``op``."""
         cost = self._costs[op]
         draw = self._rng.gauss(cost.mean_ms, cost.std_ms)
-        return max(cost.floor_ms, draw) * self.scale
+        sampled = max(cost.floor_ms, draw) * self.scale
+        if self._metrics is not None:
+            self._metrics.counter("crypto.ops.total").inc()
+            self._metrics.counter(f"crypto.ops.{op.value}").inc()
+            self._metrics.histogram(f"crypto.ms.{op.value}").observe(sampled)
+        return sampled
 
     def zero(self) -> "CryptoCostModel":
         """A model that charges (almost) nothing — for functional tests."""

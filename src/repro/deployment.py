@@ -19,6 +19,7 @@ from repro.crypto.costmodel import CryptoOp, OpCost
 from repro.crypto.rsa import RSAPublicKey
 from repro.messaging.broker_network import BrokerNetwork
 from repro.messaging.discovery import BrokerDiscoveryService
+from repro.obs import EventJournal, MetricsRegistry
 from repro.sim.engine import Simulator
 from repro.sim.monitor import Monitor
 from repro.tdn.node import TDNCluster
@@ -109,6 +110,22 @@ class Deployment:
 
     def manager_of(self, broker_id: str) -> TraceManager:
         return self.managers[broker_id]
+
+    # ---------------------------------------------------------- observability
+
+    @property
+    def metrics(self) -> MetricsRegistry:
+        """The deployment-wide instrument registry (repro.obs)."""
+        return self.monitor.metrics
+
+    @property
+    def journal(self) -> EventJournal:
+        """The deployment-wide structured event journal (repro.obs)."""
+        return self.monitor.journal
+
+    def snapshot(self) -> dict:
+        """One JSON-serializable view of every instrument's current state."""
+        return self.monitor.metrics.snapshot()
 
 
 def tdn_public_keys(tdn: TDNCluster) -> dict[str, RSAPublicKey]:

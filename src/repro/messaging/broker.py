@@ -24,7 +24,11 @@ from dataclasses import dataclass
 from typing import Callable, Generator, Iterable, Protocol
 
 from repro.errors import NotConnectedError, RoutingError, UnauthorizedError
-from repro.messaging.constrained import ConstrainedTopic, is_constrained
+from repro.messaging.constrained import (
+    CONSTRAINED_KEYWORD,
+    ConstrainedTopic,
+    is_constrained,
+)
 from repro.messaging.message import Message
 from repro.messaging.topics import Topic, topic_matches
 from repro.sim.engine import Event, Simulator
@@ -41,7 +45,22 @@ DEFAULT_PROCESSING_MS = 2.9
 #: Broker CPU cost of handing one message to one local subscriber.
 DEFAULT_PER_DELIVERY_MS = 0.09
 
+#: Bucket bounds for the ``broker.fanout`` histogram (deliveries/message).
+FANOUT_BUCKETS = (0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
+
 LocalHandler = Callable[[Message], None]
+
+
+def topic_family(topic: str) -> str:
+    """Coarse label for per-topic delivery counters.
+
+    The first topic segment, except for constrained topics where the
+    event-type segment is the informative one.
+    """
+    segments = topic.split("/")
+    if segments[0] == CONSTRAINED_KEYWORD and len(segments) > 1:
+        return segments[1].lower()
+    return segments[0].lower()
 
 
 class PublishGuard(Protocol):
@@ -87,6 +106,7 @@ class Broker:
         self.broker_id = broker_id
         self.machine = machine
         self.monitor = monitor or Monitor()
+        self.metrics = self.monitor.metrics
         self.processing_ms = processing_ms
         self.per_delivery_ms = per_delivery_ms
         self.violation_limit = violation_limit
@@ -236,9 +256,11 @@ class Broker:
         """Link-delivery callback for messages a connected client published."""
         if self.failed:
             self.monitor.increment("messages.dropped_broker_failed")
+            self.metrics.counter("broker.msgs.dropped").inc()
             return
         if client_id in self._blacklist:
             self.monitor.increment("dos.dropped_blacklisted")
+            self.metrics.counter("broker.msgs.dropped").inc()
             return
         self.sim.process(
             self._ingress(message, origin=client_id, from_neighbor=False),
@@ -249,6 +271,7 @@ class Broker:
         """Link-delivery callback for broker-to-broker frames."""
         if self.failed:
             self.monitor.increment("messages.dropped_broker_failed")
+            self.metrics.counter("broker.msgs.dropped").inc()
             return
         self.sim.process(
             self._neighbor_ingress(neighbor_id, frame),
@@ -273,6 +296,7 @@ class Broker:
     ) -> Generator[Event, None, None]:
         yield from self.machine.compute(self.processing_ms)
         self.monitor.increment("messages.received")
+        self.metrics.counter("broker.msgs.ingress").inc()
 
         constrained: ConstrainedTopic | None = None
         if is_constrained(message.topic.canonical):
@@ -281,6 +305,7 @@ class Broker:
             if not constrained.may_publish(publisher, is_broker=self_origin):
                 self._record_violation(origin, f"publish on {message.topic}")
                 self.monitor.increment("messages.rejected_constrained")
+                self.metrics.counter("broker.msgs.rejected").inc()
                 return
 
         for guard in self.publish_guards:
@@ -288,6 +313,7 @@ class Broker:
             if not ok:
                 self._record_violation(origin, f"guard rejected {message.topic}")
                 self.monitor.increment("messages.rejected_guard")
+                self.metrics.counter("broker.msgs.rejected").inc()
                 return
 
         yield from self._dispatch(message, constrained, origin, self_origin)
@@ -298,11 +324,13 @@ class Broker:
         message = frame.message
         yield from self.machine.compute(self.processing_ms)
         self.monitor.increment("messages.forwarded_in")
+        self.metrics.counter("broker.msgs.forwarded_in").inc()
 
         for guard in self.publish_guards:
             ok = yield from guard(self, message, neighbor_id, True)
             if not ok:
                 self.monitor.increment("messages.rejected_guard")
+                self.metrics.counter("broker.msgs.rejected").inc()
                 return
 
         if self.broker_id in frame.destinations:
@@ -352,6 +380,7 @@ class Broker:
                 # destination currently unreachable (failed broker or
                 # partition): drop that leg, deliver the rest
                 self.monitor.increment("messages.unroutable")
+                self.metrics.counter("broker.msgs.unroutable").inc()
                 continue
             by_next_hop[next_hop].append(dest)
         for next_hop, dests in sorted(by_next_hop.items()):
@@ -366,11 +395,13 @@ class Broker:
                 )
             link.send(RoutedFrame(message, tuple(sorted(dests))))
             self.monitor.increment("messages.forwarded_out")
+            self.metrics.counter("broker.msgs.forwarded_out").inc()
 
     def _deliver_local(
         self, message: Message, exclude_client: str | None = None
     ) -> Generator[Event, None, None]:
         topic = message.topic.canonical
+        fanout = 0
 
         for pattern, handlers in list(self._broker_subs.items()):
             if topic_matches(pattern, topic):
@@ -378,6 +409,7 @@ class Broker:
                     yield from self.machine.compute(self.per_delivery_ms)
                     handler(message)
                     self.monitor.increment("messages.delivered_broker_local")
+                    fanout += 1
 
         for pattern, subscribers in list(self._client_subs.items()):
             if not topic_matches(pattern, topic):
@@ -395,12 +427,23 @@ class Broker:
                 yield from self.machine.compute(self.per_delivery_ms)
                 link.send(message)
                 self.monitor.increment("messages.delivered_client")
+                fanout += 1
+
+        if fanout:
+            self.metrics.counter("broker.msgs.delivered").inc(fanout)
+            self.metrics.counter(
+                f"broker.delivered.{topic_family(topic)}"
+            ).inc(fanout)
+        self.metrics.histogram(
+            "broker.fanout", bounds=FANOUT_BUCKETS
+        ).observe(float(fanout))
 
     # ------------------------------------------------------------------- DoS
 
     def _record_violation(self, principal: str, what: str) -> None:
         self._violations[principal] += 1
         self.monitor.increment("dos.violations")
+        self.metrics.counter("broker.violations").inc()
         self.monitor.log(self.sim.now, "violation", principal=principal, what=what)
         if (
             self._violations[principal] >= self.violation_limit

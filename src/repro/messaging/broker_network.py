@@ -68,6 +68,7 @@ class BrokerNetwork:
                 calibration=self._cost_calibration,
                 seed=self.streams.derive_seed(f"cost.{name}"),
                 scale=self._cost_scale,
+                metrics=self.monitor.metrics,
             )
             if self._ntp_model is not None:
                 clock = self._ntp_model.clock_for_node(self.sim.clock)

@@ -1,0 +1,138 @@
+"""The metrics registry: named instruments, families, and snapshots.
+
+One :class:`MetricsRegistry` is shared by every component of a deployment
+(the :class:`~repro.sim.monitor.Monitor` owns it and hands it out), so a
+single ``snapshot()`` call sees the whole system.  Instrument names follow
+a dotted convention, ``<family>.<noun>.<detail>`` — ``broker.msgs.ingress``,
+``tracker.detection.latency_ms``, ``crypto.ops.trace_sign`` — and the first
+segment groups instruments into the *families* the snapshot renders
+(``broker``, ``tracker``, ``transport``, ``tdn``, ``crypto``, …).  See
+``docs/OBSERVABILITY.md`` for the taxonomy.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.instruments import Counter, Gauge, Histogram, format_value
+from repro.obs.timer import Timer
+from repro.util.clock import Clock
+
+
+class MetricsRegistry:
+    """Get-or-create store of named counters, gauges and histograms."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- get-or-create ---------------------------------------------------------
+
+    def _check_unique(self, name: str, kind: dict) -> None:
+        for registry in (self._counters, self._gauges, self._histograms):
+            if registry is not kind and name in registry:
+                raise ValueError(
+                    f"instrument {name!r} already registered with a different kind"
+                )
+
+    def counter(self, name: str) -> Counter:
+        if name not in self._counters:
+            self._check_unique(name, self._counters)
+            self._counters[name] = Counter(name)
+        return self._counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        if name not in self._gauges:
+            self._check_unique(name, self._gauges)
+            self._gauges[name] = Gauge(name)
+        return self._gauges[name]
+
+    def histogram(self, name: str, bounds: tuple[float, ...] | None = None) -> Histogram:
+        if name not in self._histograms:
+            self._check_unique(name, self._histograms)
+            self._histograms[name] = (
+                Histogram(name, bounds) if bounds is not None else Histogram(name)
+            )
+        return self._histograms[name]
+
+    def timer(self, name: str, clock: Clock) -> Timer:
+        """A fresh :class:`Timer` over the histogram called ``name``."""
+        return Timer(self.histogram(name), clock)
+
+    # -- convenience reads -------------------------------------------------------
+
+    def counter_value(self, name: str) -> int:
+        """Counter value, 0 if the counter was never created."""
+        counter = self._counters.get(name)
+        return counter.value if counter is not None else 0
+
+    def gauge_value(self, name: str) -> float:
+        gauge = self._gauges.get(name)
+        return gauge.value if gauge is not None else 0.0
+
+    def names(self) -> list[str]:
+        return sorted([*self._counters, *self._gauges, *self._histograms])
+
+    def families(self) -> dict[str, list[str]]:
+        """First name segment -> sorted instrument names in that family."""
+        grouped: dict[str, list[str]] = {}
+        for name in self.names():
+            grouped.setdefault(name.split(".", 1)[0], []).append(name)
+        return grouped
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+    # -- snapshot ----------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-serializable view of every instrument's current state.
+
+        Empty histograms are included with ``count: 0`` so a consumer can
+        tell "instrument exists but nothing happened" from "no instrument".
+        """
+        return {
+            "counters": {
+                name: counter.value
+                for name, counter in sorted(self._counters.items())
+            },
+            "gauges": {
+                name: gauge.value for name, gauge in sorted(self._gauges.items())
+            },
+            "histograms": {
+                name: histogram.to_dict()
+                for name, histogram in sorted(self._histograms.items())
+            },
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
+
+    def render_text(self) -> str:
+        """Human-readable snapshot grouped by instrument family."""
+        lines: list[str] = []
+        families = self.families()
+        for family in sorted(families):
+            lines.append(f"[{family}]")
+            for name in families[family]:
+                if name in self._counters:
+                    lines.append(f"  {name:<44s} {self._counters[name].value}")
+                elif name in self._gauges:
+                    lines.append(
+                        f"  {name:<44s} {format_value(self._gauges[name].value)}"
+                    )
+                else:
+                    hist = self._histograms[name]
+                    if hist.count == 0:
+                        lines.append(f"  {name:<44s} (no samples)")
+                    else:
+                        lines.append(
+                            f"  {name:<44s} n={hist.count} "
+                            f"mean={hist.mean:.3f} sd={hist.std_dev:.3f} "
+                            f"p50={hist.percentile(50):.3f} "
+                            f"p99={hist.percentile(99):.3f} "
+                            f"max={hist.maximum:.3f}"
+                        )
+            lines.append("")
+        return "\n".join(lines).rstrip("\n")

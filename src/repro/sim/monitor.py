@@ -4,6 +4,15 @@ A :class:`Monitor` owns named time series and counters; protocol components
 record into it and benchmark harnesses read summaries out of it.  Keeping
 measurement separate from protocol logic means the tracing code contains no
 benchmark-specific branches.
+
+The monitor is also the distribution point for the unified observability
+layer (:mod:`repro.obs`): it owns one :class:`~repro.obs.MetricsRegistry`
+and one :class:`~repro.obs.EventJournal` per deployment, which instrumented
+components reach through ``monitor.metrics`` / ``monitor.journal``.  The
+legacy counter/series API remains for scenario-local bookkeeping; the
+registry carries the convention-named instrument families
+(``broker.*``, ``tracker.*``, ``transport.*``, ``tdn.*``, ``crypto.*``)
+that ``snapshot()`` consumers and the ``repro metrics`` CLI read.
 """
 
 from __future__ import annotations
@@ -11,6 +20,7 @@ from __future__ import annotations
 from collections import defaultdict
 from dataclasses import dataclass, field
 
+from repro.obs import EventJournal, MetricsRegistry
 from repro.util.stats import RunningStats, StatSummary
 
 
@@ -43,10 +53,17 @@ class Series:
 class Monitor:
     """Collection of series, counters and event logs for one simulation."""
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        metrics: MetricsRegistry | None = None,
+        journal: EventJournal | None = None,
+    ) -> None:
         self._series: dict[str, Series] = {}
         self._counters: dict[str, int] = defaultdict(int)
-        self._events: list[tuple[float, str, dict]] = []
+        #: The deployment-wide instrument registry (repro.obs).
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: The deployment-wide structured event journal (repro.obs).
+        self.journal = journal if journal is not None else EventJournal()
 
     # -- series ---------------------------------------------------------------
 
@@ -84,12 +101,21 @@ class Monitor:
     # -- event log ---------------------------------------------------------------
 
     def log(self, time_ms: float, kind: str, **details) -> None:
-        self._events.append((time_ms, kind, details))
+        """Append a structured event (stored in the shared journal)."""
+        self.journal.record(
+            time_ms,
+            kind,
+            topic=details.pop("topic", None),
+            principal=details.pop("principal", None),
+            size_bytes=details.pop("size_bytes", None),
+            **details,
+        )
 
     def events(self, kind: str | None = None) -> list[tuple[float, str, dict]]:
-        if kind is None:
-            return list(self._events)
-        return [e for e in self._events if e[1] == kind]
+        return [
+            (record.time_ms, record.kind, record.details())
+            for record in self.journal.records(kind)
+        ]
 
     # -- export ------------------------------------------------------------------
 
@@ -121,8 +147,9 @@ class Monitor:
             "series": series_out,
             "events": [
                 {"time_ms": t, "kind": kind, "details": details}
-                for t, kind, details in self._events
+                for t, kind, details in self.events()
             ],
+            "metrics": self.metrics.snapshot(),
         }
 
     def to_json(self, include_samples: bool = False, indent: int = 2) -> str:

@@ -132,6 +132,10 @@ class TDNNode:
         self.store.put(advertisement)
         self._replicate(advertisement)
         self.monitor.increment("tdn.topics_created")
+        self.monitor.metrics.counter("tdn.advertisements.created").inc()
+        self.monitor.metrics.gauge("tdn.advertisements.stored").set(
+            float(len(self.store))
+        )
         return advertisement
 
     def renew_topic(
@@ -217,18 +221,25 @@ class TDNNode:
         """
         if self.failed:
             raise DiscoveryError(f"TDN {self.name!r} is down")
-        yield self.sim.timeout(self.service_delay_ms)
-        now = self.machine.now()
-        self.monitor.increment("tdn.discovery_requests")
+        metrics = self.monitor.metrics
+        metrics.counter("tdn.queries").inc()
+        with metrics.timer("tdn.query.latency_ms", self.sim.clock):
+            yield self.sim.timeout(self.service_delay_ms)
+            now = self.machine.now()
+            self.monitor.increment("tdn.discovery_requests")
 
-        candidates = self.store.find_matching(query, now)
-        for advertisement in candidates:
-            yield from self.machine.charge(CryptoOp.CERT_VERIFY)
-            if advertisement.restrictions.permits(credentials, self.trust_anchor, now):
-                self.monitor.increment("tdn.discovery_answered")
-                return advertisement
-        self.monitor.increment("tdn.discovery_ignored")
-        return None
+            candidates = self.store.find_matching(query, now)
+            for advertisement in candidates:
+                yield from self.machine.charge(CryptoOp.CERT_VERIFY)
+                if advertisement.restrictions.permits(
+                    credentials, self.trust_anchor, now
+                ):
+                    self.monitor.increment("tdn.discovery_answered")
+                    metrics.counter("tdn.queries.answered").inc()
+                    return advertisement
+            self.monitor.increment("tdn.discovery_ignored")
+            metrics.counter("tdn.queries.ignored").inc()
+            return None
 
     def discover_all(
         self, query: DiscoveryQuery, credentials
@@ -241,24 +252,31 @@ class TDNNode:
         """
         if self.failed:
             raise DiscoveryError(f"TDN {self.name!r} is down")
-        yield self.sim.timeout(self.service_delay_ms)
-        now = self.machine.now()
-        self.monitor.increment("tdn.discovery_requests")
+        metrics = self.monitor.metrics
+        metrics.counter("tdn.queries").inc()
+        with metrics.timer("tdn.query.latency_ms", self.sim.clock):
+            yield self.sim.timeout(self.service_delay_ms)
+            now = self.machine.now()
+            self.monitor.increment("tdn.discovery_requests")
 
-        permitted: list[TopicAdvertisement] = []
-        seen_descriptors: set[str] = set()
-        for advertisement in self.store.find_matching(query, now):
-            if advertisement.descriptor in seen_descriptors:
-                continue  # newest advertisement per descriptor wins
-            yield from self.machine.charge(CryptoOp.CERT_VERIFY)
-            if advertisement.restrictions.permits(credentials, self.trust_anchor, now):
-                permitted.append(advertisement)
-                seen_descriptors.add(advertisement.descriptor)
-        if permitted:
-            self.monitor.increment("tdn.discovery_answered")
-        else:
-            self.monitor.increment("tdn.discovery_ignored")
-        return permitted
+            permitted: list[TopicAdvertisement] = []
+            seen_descriptors: set[str] = set()
+            for advertisement in self.store.find_matching(query, now):
+                if advertisement.descriptor in seen_descriptors:
+                    continue  # newest advertisement per descriptor wins
+                yield from self.machine.charge(CryptoOp.CERT_VERIFY)
+                if advertisement.restrictions.permits(
+                    credentials, self.trust_anchor, now
+                ):
+                    permitted.append(advertisement)
+                    seen_descriptors.add(advertisement.descriptor)
+            if permitted:
+                self.monitor.increment("tdn.discovery_answered")
+                metrics.counter("tdn.queries.answered").inc()
+            else:
+                self.monitor.increment("tdn.discovery_ignored")
+                metrics.counter("tdn.queries.ignored").inc()
+            return permitted
 
     def verify_advertisement(self, advertisement: TopicAdvertisement) -> bool:
         """Validate a presented advertisement's TDN signature and fields."""

@@ -237,6 +237,7 @@ class TraceManager:
             detector=self.detector_factory(),
             interest=interest,
         )
+        session.history.metrics = self.monitor.metrics
         key = session_id.value.hex
         self.sessions[key] = session
         self.sessions_by_entity[str(request.entity_id)] = session
@@ -569,6 +570,7 @@ class TraceManager:
                 ping.to_dict(),
             )
             self.monitor.increment("trace.pings_sent")
+            self.monitor.metrics.counter("tracker.pings.sent").inc()
 
             # wait until this ping can be judged, but never longer than the
             # ping interval itself (a deadline above the interval must not
@@ -595,6 +597,15 @@ class TraceManager:
             elif verdict is DetectorVerdict.FAILED:
                 session.declared_failed = True
                 session.active = False
+                # detection latency: time from the last sign of life (or
+                # session start, if the entity never answered) to the
+                # declaration — the Figure 5 quantity
+                last_alive = session.history.last_response_ms()
+                if last_alive is None:
+                    last_alive = session.started_ms
+                self.monitor.metrics.histogram(
+                    "tracker.detection.latency_ms"
+                ).observe(now - last_alive)
                 yield from self.publish_trace(
                     session,
                     TraceType.FAILED,

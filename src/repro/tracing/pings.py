@@ -15,6 +15,7 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass, field
 
+from repro.obs import MetricsRegistry
 from repro.tracing.traces import NetworkMetrics
 
 #: Window size of the broker's per-entity ping history.
@@ -97,8 +98,15 @@ class PingHistory:
     _out_of_order: int = 0
     _responses: int = 0
     last_ping_ms: float | None = None
+    #: Deployment registry, set by the owning TraceManager; when present,
+    #: ping intervals and RTTs flow into ``tracker.ping.*`` histograms.
+    metrics: MetricsRegistry | None = None
 
     def record_ping(self, ping: Ping) -> None:
+        if self.metrics is not None and self.last_ping_ms is not None:
+            self.metrics.histogram("tracker.ping.interval_ms").observe(
+                ping.issued_ms - self.last_ping_ms
+            )
         self._records.append(_PingRecord(ping.number, ping.issued_ms))
         while len(self._records) > self.window:
             self._records.popleft()
@@ -118,8 +126,21 @@ class PingHistory:
         for record in self._records:
             if record.number == response.number and not record.answered:
                 record.response_ms = received_ms
+                if self.metrics is not None and record.rtt_ms is not None:
+                    self.metrics.histogram("tracker.ping.rtt_ms").observe(
+                        record.rtt_ms
+                    )
                 return True
         return False
+
+    def last_response_ms(self) -> float | None:
+        """Broker receive time of the most recent answered ping, if any."""
+        best: float | None = None
+        for record in self._records:
+            if record.response_ms is not None:
+                if best is None or record.response_ms > best:
+                    best = record.response_ms
+        return best
 
     # -- windowed statistics -------------------------------------------------------
 

@@ -331,6 +331,11 @@ class Tracker:
                 watched.key_received_ms - watched.last_gauge_stamp_ms
             )
         self.monitor.increment("tracker.keys_received")
+        self.monitor.metrics.counter("tracker.keys.received").inc()
+        if watched.keydist_latency_ms is not None:
+            self.monitor.metrics.histogram("tracker.keydist.latency_ms").observe(
+                watched.keydist_latency_ms
+            )
         self.monitor.record(
             "tracker.key_received_ms", self.sim.now, self.machine.now()
         )
@@ -451,8 +456,14 @@ class Tracker:
         self.received.append(received)
         self.monitor.increment("tracker.traces_received")
         self.monitor.increment(f"tracker.traces_received.{trace_type.value}")
+        metrics = self.monitor.metrics
+        metrics.counter("tracker.traces.received").inc()
         if latency is not None:
             self.monitor.record("tracker.trace_latency_ms", self.sim.now, latency)
+            metrics.histogram("tracker.trace.latency_ms").observe(latency)
+            metrics.histogram(
+                f"tracker.trace.latency_ms.{trace_type.value.lower()}"
+            ).observe(latency)
         if self.on_trace is not None:
             self.on_trace(received)
 

@@ -40,7 +40,9 @@ class Link:
         self.name = name or f"link-{id(self):x}"
         self._rng = rng
         self._monitor = monitor
+        self._metrics = monitor.metrics if monitor is not None else None
         self._last_arrival = 0.0
+        self._latest_arrival = 0.0
         self.sent_count = 0
         self.delivered_count = 0
         self.dropped_count = 0
@@ -50,6 +52,10 @@ class Link:
         """Send ``payload``; schedules receiver callback in virtual time."""
         size = wire_size(payload)
         self.sent_count += 1
+        metrics = self._metrics
+        if metrics:
+            metrics.counter("transport.msgs.sent").inc()
+            metrics.counter("transport.bytes.sent").inc(size)
         latency = self.profile.sample_latency_ms(size, self._rng)
         retransmits = 0
 
@@ -58,6 +64,10 @@ class Link:
                 self.dropped_count += 1
                 if self._monitor:
                     self._monitor.increment(f"{self.name}.dropped")
+                    metrics.counter("transport.msgs.dropped").inc()
+                    self._monitor.journal.record(
+                        self.sim.now, "link.drop", size_bytes=size, link=self.name
+                    )
                 return DeliveryReceipt(False, latency, 0, size)
             # reliable: pay retransmission penalties until a send survives
             while retransmits < self.profile.max_retransmits:
@@ -66,6 +76,8 @@ class Link:
                 if not self.profile.sample_loss(self._rng):
                     break
             self.retransmit_count += retransmits
+            if metrics:
+                metrics.counter("transport.retransmits").inc(retransmits)
 
         arrival = self.sim.now + latency
         if self.profile.ordered and arrival < self._last_arrival:
@@ -73,13 +85,28 @@ class Link:
             latency = arrival - self.sim.now
         if self.profile.ordered:
             self._last_arrival = arrival
+        elif arrival < self._latest_arrival and self._monitor:
+            # this payload overtakes one sent earlier: a reordered delivery
+            metrics.counter("transport.msgs.reordered").inc()
+            self._monitor.journal.record(
+                self.sim.now, "link.reorder", size_bytes=size, link=self.name
+            )
+        self._latest_arrival = max(self._latest_arrival, arrival)
 
         self.delivered_count += 1
         if self._monitor:
             self._monitor.increment(f"{self.name}.delivered")
             self._monitor.record(f"{self.name}.latency_ms", self.sim.now, latency)
-        self.sim.call_at(arrival, lambda: self.receiver(payload))
+            metrics.counter("transport.msgs.delivered").inc()
+            metrics.histogram("transport.latency_ms").observe(latency)
+            metrics.gauge("transport.inflight").inc()
+        self.sim.call_at(arrival, lambda: self._deliver(payload))
         return DeliveryReceipt(True, latency, retransmits, size)
+
+    def _deliver(self, payload: Any) -> None:
+        if self._metrics:
+            self._metrics.gauge("transport.inflight").dec()
+        self.receiver(payload)
 
 
 class DuplexLink:

@@ -165,6 +165,54 @@ class TestLifecycle:
         assert tracker.traces_of_type(TraceType.DISCONNECT)
 
 
+class TestObservability:
+    """The repro.obs registry must agree with what the protocol did."""
+
+    def test_broker_ingress_matches_legacy_counter(self, dep):
+        bootstrap(dep)
+        dep.sim.run(until=30_000)
+        assert dep.metrics.counter_value("broker.msgs.ingress") == \
+            dep.monitor.count("messages.received")
+        assert dep.metrics.counter_value("broker.msgs.ingress") > 0
+
+    def test_delivery_counters_match_message_counts(self, dep):
+        bootstrap(dep)
+        dep.sim.run(until=30_000)
+        delivered = dep.metrics.counter_value("broker.msgs.delivered")
+        assert delivered == (
+            dep.monitor.count("messages.delivered_client")
+            + dep.monitor.count("messages.delivered_broker_local")
+        )
+        # every trace the tracker verified was first delivered by a broker
+        assert delivered >= dep.metrics.counter_value("tracker.traces.received")
+        assert dep.metrics.counter_value("tracker.traces.received") >= 10
+
+    def test_trace_latency_histogram_matches_tracker_samples(self, dep):
+        _, tracker = bootstrap(dep)
+        dep.sim.run(until=30_000)
+        hist = dep.metrics.histogram("tracker.trace.latency_ms.alls_well")
+        latencies = tracker.latencies(TraceType.ALLS_WELL)
+        assert hist.count == len(latencies)
+        assert hist.mean == pytest.approx(sum(latencies) / len(latencies))
+
+    def test_snapshot_covers_instrumented_families(self, dep):
+        bootstrap(dep)
+        dep.sim.run(until=30_000)
+        families = set(dep.metrics.families())
+        assert {"broker", "tracker", "transport", "tdn", "crypto"} <= families
+        snapshot = dep.snapshot()
+        assert snapshot == dep.monitor.metrics.snapshot()
+        assert snapshot["counters"]["transport.msgs.sent"] > 0
+
+    def test_violation_events_land_in_journal(self, dep):
+        bootstrap(dep)
+        broker = dep.network.broker("b1")
+        broker._record_violation("mallory", "publish on Constrained/x")
+        assert dep.metrics.counter_value("broker.violations") == 1
+        violations = dep.journal.records("violation")
+        assert violations and violations[-1].principal == "mallory"
+
+
 class TestDeterminism:
     def test_same_seed_same_outcome(self):
         def run():

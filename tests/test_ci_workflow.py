@@ -1,0 +1,50 @@
+"""The CI pipeline definition must stay parseable and complete."""
+
+from pathlib import Path
+
+import pytest
+
+yaml = pytest.importorskip("yaml")
+
+WORKFLOW = Path(__file__).resolve().parent.parent / ".github" / "workflows" / "ci.yml"
+
+
+@pytest.fixture(scope="module")
+def workflow() -> dict:
+    return yaml.safe_load(WORKFLOW.read_text())
+
+
+def test_workflow_parses(workflow):
+    assert workflow["name"] == "CI"
+
+
+def test_triggers_cover_push_and_pr(workflow):
+    # PyYAML parses the bare `on:` key as boolean True
+    triggers = workflow.get("on", workflow.get(True))
+    assert "push" in triggers
+    assert "pull_request" in triggers
+
+
+def test_has_lint_test_and_bench_jobs(workflow):
+    jobs = workflow["jobs"]
+    assert set(jobs) == {"lint", "test", "bench-smoke"}
+
+
+def test_test_matrix_covers_supported_pythons(workflow):
+    matrix = workflow["jobs"]["test"]["strategy"]["matrix"]
+    assert matrix["python-version"] == ["3.10", "3.11", "3.12"]
+
+
+def test_pythonpath_is_src(workflow):
+    assert workflow["env"]["PYTHONPATH"] == "src"
+
+
+def test_lint_job_runs_ruff(workflow):
+    steps = workflow["jobs"]["lint"]["steps"]
+    assert any("ruff check" in (step.get("run") or "") for step in steps)
+
+
+def test_bench_smoke_compiles_and_runs_bench_tests(workflow):
+    runs = [step.get("run") or "" for step in workflow["jobs"]["bench-smoke"]["steps"]]
+    assert any("compileall" in run for run in runs)
+    assert any("tests/bench" in run for run in runs)

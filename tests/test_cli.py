@@ -21,6 +21,12 @@ class TestParser:
         assert args.scenario == "failure"
         assert args.seed == 9
 
+    def test_metrics_flags(self):
+        args = build_parser().parse_args(["metrics", "--json", "--seed", "5"])
+        assert args.command == "metrics"
+        assert args.json is True
+        assert args.seed == 5
+
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
@@ -53,6 +59,21 @@ class TestCommands:
         assert main(["bench", "adaptive"]) == 0
         out = capsys.readouterr().out
         assert "adaptive" in out and "fixed" in out
+
+    def test_metrics_text(self, capsys):
+        assert main(["metrics", "--duration", "15"]) == 0
+        out = capsys.readouterr().out
+        for family in ("[broker]", "[tracker]", "[transport]", "[crypto]", "[tdn]"):
+            assert family in out
+        assert "broker.msgs.ingress" in out
+
+    def test_metrics_json(self, capsys):
+        import json
+
+        assert main(["metrics", "--duration", "15", "--json"]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["counters"]["broker.msgs.ingress"] > 0
+        assert snapshot["histograms"]["tracker.trace.latency_ms"]["count"] > 0
 
     def test_demo_failure(self, capsys):
         assert main(["demo", "failure"]) == 0
