@@ -63,5 +63,5 @@ def test_figure4_trackers(benchmark, report, save_figure):
         assert all(r.summary.mean < 120.0 for r in results)
 
     # UDP sits below TCP throughout, as in every other figure
-    for tcp_result, udp_result in zip(by_transport["TCP"], by_transport["UDP"]):
+    for tcp_result, udp_result in zip(by_transport["TCP"], by_transport["UDP"], strict=True):
         assert udp_result.summary.mean < tcp_result.summary.mean

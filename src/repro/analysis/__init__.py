@@ -1,0 +1,45 @@
+"""``repro.analysis`` — AST-based domain linter for the reproduction's contracts.
+
+The simulation's headline property (bit-identical reruns of the paper's
+Table 1-3 experiments from one master seed) rests on conventions that no
+unit test can see: randomness must flow through
+:class:`~repro.sim.random.RandomStreams`, time through the virtual clock,
+instruments through the ``<family>.<noun>.<detail>`` naming scheme, and
+errors through the :class:`~repro.errors.ReproError` taxonomy.  This
+package machine-checks those conventions.
+
+Rules
+-----
+
+======  ======================================================================
+DET01   No wall-clock reads or global ``random`` use outside the designated
+        modules — simulation code draws from ``RandomStreams`` / the clock.
+DET02   No iteration over sets in scheduling/routing code (ordering hazard).
+SIM01   Simulation process generators must not call blocking stdlib I/O.
+CRY01   Key material must not reach journals, logs, f-strings, or ``repr``;
+        no constant IVs or ECB-shaped block encryption.
+OBS01   Instrument name literals must match ``<family>.<noun>[.<detail>]``
+        against the documented family list (docs/OBSERVABILITY.md).
+ERR01   No ``raise`` of builtin exception types where a ``ReproError``
+        subclass exists (see ``repro.errors``).
+======  ======================================================================
+
+Suppress a finding on one line with ``# repro: noqa[RULE]`` (or a bare
+``# repro: noqa`` to silence every rule on that line).  See
+``docs/ANALYSIS.md`` for the full rule catalogue with examples.
+"""
+
+from repro.analysis.base import (  # noqa: F401
+    Checker,
+    FileContext,
+    Finding,
+    Severity,
+    analyze_source,
+)
+from repro.analysis.runner import (  # noqa: F401
+    all_rule_ids,
+    analyze_paths,
+    format_findings_json,
+    format_findings_text,
+    record_stats,
+)

@@ -1,0 +1,25 @@
+"""The shipped rule set.  Import order fixes the catalogue order."""
+
+from __future__ import annotations
+
+from repro.analysis.base import Checker
+from repro.analysis.rules.crypto_hygiene import SecretExposureChecker
+from repro.analysis.rules.determinism import SetIterationChecker, WallClockChecker
+from repro.analysis.rules.error_taxonomy import BuiltinRaiseChecker
+from repro.analysis.rules.observability import InstrumentNameChecker
+from repro.analysis.rules.sim_process import BlockingSimProcessChecker
+
+#: Checker classes in catalogue order (DET01, DET02, SIM01, CRY01, OBS01, ERR01).
+ALL_CHECKER_CLASSES: tuple[type[Checker], ...] = (
+    WallClockChecker,
+    SetIterationChecker,
+    BlockingSimProcessChecker,
+    SecretExposureChecker,
+    InstrumentNameChecker,
+    BuiltinRaiseChecker,
+)
+
+
+def default_checkers() -> list[Checker]:
+    """Fresh instances of every shipped checker."""
+    return [cls() for cls in ALL_CHECKER_CLASSES]

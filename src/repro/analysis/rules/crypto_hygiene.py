@@ -1,0 +1,172 @@
+"""CRY01 — crypto hygiene.
+
+Two failure families the paper's security sections (4-5) make fatal:
+
+* **Key material in observable output.**  Trace keys and private keys must
+  never reach the journal, a log line, an f-string message or ``repr`` —
+  any of those ends up in exported snapshots that untrusted trackers read.
+* **Degenerate cipher modes.**  A constant IV (or raw per-block encryption,
+  i.e. ECB) makes equal heartbeat plaintexts produce equal ciphertexts,
+  which is exactly the traffic-analysis leak §5.1's per-session trace keys
+  exist to prevent.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.analysis.base import SEVERITY_ERROR, Checker, FileContext, Finding
+
+#: Identifier components that mark a value as key material.
+SECRET_PARTS = frozenset(
+    {"key", "keys", "secret", "secrets", "private", "privkey", "passphrase", "password"}
+)
+
+#: Trailing components that mark a name as *metadata about* a key (its
+#: size, count, id, ...) rather than the key itself.
+METADATA_PARTS = frozenset(
+    {"bits", "size", "len", "length", "count", "total", "id", "ids",
+     "name", "names", "topic", "path", "hash", "digest", "fingerprint"}
+)
+
+#: Logging-shaped callable names (method attr or bare function).
+LOG_CALL_NAMES = frozenset(
+    {"log", "debug", "info", "warning", "error", "exception", "critical", "print"}
+)
+
+_SPLIT_RE = re.compile(r"[_\W\d]+")
+
+
+def is_secret_name(identifier: str) -> bool:
+    """``trace_key`` and ``private_exponent`` are secret; ``key_bits`` is not."""
+    parts = [p for p in _SPLIT_RE.split(identifier.lower()) if p]
+    if not parts or parts[-1] in METADATA_PARTS:
+        return False
+    return any(part in SECRET_PARTS for part in parts)
+
+
+def _secret_expr_name(node: ast.expr) -> str | None:
+    """The offending identifier if ``node`` names key material directly."""
+    if isinstance(node, ast.Name) and is_secret_name(node.id):
+        return node.id
+    if isinstance(node, ast.Attribute) and is_secret_name(node.attr):
+        return node.attr
+    return None
+
+
+class SecretExposureChecker(Checker):
+    """CRY01: key material out of logs; no constant IVs; no ECB shapes."""
+
+    rule = "CRY01"
+    description = (
+        "key/secret-named values must not reach journals, logs, f-strings or "
+        "repr; ciphers must not use constant IVs or ECB-shaped calls"
+    )
+    severity = SEVERITY_ERROR
+    default_hint = "log a fingerprint (digest) or the key's metadata, never the key"
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.JoinedStr):
+                yield from self._check_fstring(ctx, node)
+            elif isinstance(node, ast.Call):
+                yield from self._check_call(ctx, node)
+
+    # -- key material reaching observable output ---------------------------------
+
+    def _check_fstring(self, ctx: FileContext, node: ast.JoinedStr) -> Iterator[Finding]:
+        for value in node.values:
+            if not isinstance(value, ast.FormattedValue):
+                continue
+            name = _secret_expr_name(value.value)
+            if name is not None:
+                yield ctx.finding(
+                    self, value, f"key material {name!r} interpolated into an f-string"
+                )
+
+    def _check_call(self, ctx: FileContext, call: ast.Call) -> Iterator[Finding]:
+        func = call.func
+        # repr(secret) / str(secret)
+        if isinstance(func, ast.Name) and func.id in {"repr", "str"} and call.args:
+            name = _secret_expr_name(call.args[0])
+            if name is not None:
+                yield ctx.finding(
+                    self, call, f"{func.id}() of key material {name!r}"
+                )
+        if self._is_observable_sink(ctx, func):
+            for arg in [*call.args, *(kw.value for kw in call.keywords)]:
+                name = _secret_expr_name(arg)
+                if name is not None:
+                    yield ctx.finding(
+                        self,
+                        call,
+                        f"key material {name!r} passed to "
+                        f"{self._sink_label(func)}",
+                    )
+        yield from self._check_cipher_shape(ctx, call)
+
+    @staticmethod
+    def _is_observable_sink(ctx: FileContext, func: ast.expr) -> bool:
+        if isinstance(func, ast.Name):
+            return func.id in LOG_CALL_NAMES
+        if isinstance(func, ast.Attribute):
+            if func.attr in LOG_CALL_NAMES:
+                return True
+            if func.attr == "record":
+                # journal.record(...) / self.journal.record(...)
+                receiver = func.value
+                tail = (
+                    receiver.id
+                    if isinstance(receiver, ast.Name)
+                    else receiver.attr if isinstance(receiver, ast.Attribute) else ""
+                )
+                return "journal" in tail.lower()
+        return False
+
+    @staticmethod
+    def _sink_label(func: ast.expr) -> str:
+        if isinstance(func, ast.Attribute):
+            return f"a .{func.attr}() sink"
+        if isinstance(func, ast.Name):
+            return f"{func.id}()"
+        return "an observable sink"
+
+    # -- degenerate cipher modes --------------------------------------------------
+
+    def _check_cipher_shape(self, ctx: FileContext, call: ast.Call) -> Iterator[Finding]:
+        for keyword in call.keywords:
+            if (
+                keyword.arg == "iv"
+                and isinstance(keyword.value, ast.Constant)
+                and isinstance(keyword.value.value, (bytes, str))
+            ):
+                yield ctx.finding(
+                    self,
+                    call,
+                    "constant IV: equal plaintexts will encrypt identically",
+                    hint="draw a fresh IV from the stream RNG per message",
+                )
+        func = call.func
+        callee = (
+            func.id
+            if isinstance(func, ast.Name)
+            else func.attr if isinstance(func, ast.Attribute) else ""
+        )
+        if "ecb" in callee.lower():
+            yield ctx.finding(
+                self,
+                call,
+                f"ECB-mode call {callee}(): block patterns leak through",
+                hint="use the CBC helpers in repro.crypto.aes",
+            )
+        elif callee in {"encrypt_block", "decrypt_block"} and not ctx.is_module(
+            "crypto/aes.py"
+        ):
+            yield ctx.finding(
+                self,
+                call,
+                f"raw {callee}() outside the cipher core is ECB-shaped",
+                hint="use aes_cbc_encrypt/aes_cbc_decrypt",
+            )

@@ -1,0 +1,111 @@
+"""OBS01 — instrument naming contract.
+
+``MetricsRegistry`` instruments follow ``<family>.<noun>[.<detail>]``
+(docs/OBSERVABILITY.md): all lowercase, dot-separated, first segment one
+of the documented families.  Snapshot consumers group by that first
+segment, so a misspelled family silently drops a number out of every
+dashboard and paper-comparison table built on the snapshot.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Iterator
+
+from repro.analysis.base import SEVERITY_ERROR, Checker, FileContext, Finding
+
+#: Documented instrument families (docs/OBSERVABILITY.md + docs/ANALYSIS.md).
+KNOWN_FAMILIES = frozenset(
+    {"analysis", "broker", "crypto", "tdn", "tracker", "transport"}
+)
+
+#: Registry factory methods whose first argument is an instrument name.
+INSTRUMENT_FACTORIES = frozenset({"counter", "gauge", "histogram", "timer"})
+
+_SEGMENT = r"[a-z][a-z0-9_]*"
+_FULL_NAME_RE = re.compile(rf"^{_SEGMENT}(\.{_SEGMENT})+$")
+_PREFIX_RE = re.compile(rf"^{_SEGMENT}\.")
+
+
+class InstrumentNameChecker(Checker):
+    """OBS01: instrument name literals must match the documented scheme."""
+
+    rule = "OBS01"
+    description = (
+        "registry instrument names must be lowercase dotted "
+        "<family>.<noun>[.<detail>] with a documented family"
+    )
+    severity = SEVERITY_ERROR
+    default_hint = (
+        "families: " + ", ".join(sorted(KNOWN_FAMILIES)) + " (docs/OBSERVABILITY.md)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in INSTRUMENT_FACTORIES
+                and node.args
+                and self._receiver_is_registry(node.func.value)
+            ):
+                yield from self._check_name(ctx, node, node.args[0])
+
+    @staticmethod
+    def _receiver_is_registry(receiver: ast.expr) -> bool:
+        """Heuristic: the object owning ``.counter``/... looks like a registry."""
+        tail = (
+            receiver.id
+            if isinstance(receiver, ast.Name)
+            else receiver.attr if isinstance(receiver, ast.Attribute) else ""
+        ).lower()
+        return "metric" in tail or "registr" in tail
+
+    def _check_name(
+        self, ctx: FileContext, call: ast.Call, name_arg: ast.expr
+    ) -> Iterator[Finding]:
+        if isinstance(name_arg, ast.Constant) and isinstance(name_arg.value, str):
+            name = name_arg.value
+            if not _FULL_NAME_RE.match(name):
+                yield ctx.finding(
+                    self,
+                    call,
+                    f"instrument name {name!r} is not lowercase dotted "
+                    "<family>.<noun>[.<detail>]",
+                )
+            elif name.split(".", 1)[0] not in KNOWN_FAMILIES:
+                yield ctx.finding(
+                    self,
+                    call,
+                    f"instrument family {name.split('.', 1)[0]!r} "
+                    f"(from {name!r}) is not documented",
+                )
+        elif isinstance(name_arg, ast.JoinedStr):
+            yield from self._check_fstring_name(ctx, call, name_arg)
+        # A bare variable cannot be checked statically; the registry's own
+        # helpers (e.g. timer() delegating to histogram()) pass those.
+
+    def _check_fstring_name(
+        self, ctx: FileContext, call: ast.Call, name_arg: ast.JoinedStr
+    ) -> Iterator[Finding]:
+        first = name_arg.values[0] if name_arg.values else None
+        prefix = (
+            first.value
+            if isinstance(first, ast.Constant) and isinstance(first.value, str)
+            else ""
+        )
+        if not _PREFIX_RE.match(prefix):
+            yield ctx.finding(
+                self,
+                call,
+                "dynamic instrument name must start with a literal "
+                "'<family>.' prefix so the family stays checkable",
+            )
+        elif prefix.split(".", 1)[0] not in KNOWN_FAMILIES:
+            yield ctx.finding(
+                self,
+                call,
+                f"instrument family {prefix.split('.', 1)[0]!r} "
+                f"(from f-string prefix {prefix!r}) is not documented",
+            )

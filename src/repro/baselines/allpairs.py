@@ -16,6 +16,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
+from repro.errors import ConfigurationError
 from repro.sim.engine import Simulator
 from repro.sim.monitor import Monitor
 from repro.transport.base import TransportProfile
@@ -25,7 +26,7 @@ from repro.transport.udp import UDP_CLUSTER
 def allpairs_message_rate(n: int, heartbeats_per_second: float = 1.0) -> float:
     """Messages per second in an N-entity all-pairs deployment."""
     if n < 0:
-        raise ValueError("n must be non-negative")
+        raise ConfigurationError("n must be non-negative")
     return n * (n - 1) * heartbeats_per_second
 
 
@@ -49,7 +50,7 @@ class AllPairsHeartbeatSystem:
         monitor: Monitor | None = None,
     ) -> None:
         if entity_count < 2:
-            raise ValueError("need at least two entities")
+            raise ConfigurationError("need at least two entities")
         self.sim = sim
         self.entity_count = entity_count
         self.heartbeat_interval_ms = heartbeat_interval_ms

@@ -17,6 +17,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
+from repro.errors import ConfigurationError
 from repro.sim.engine import Simulator
 from repro.sim.monitor import Monitor
 from repro.transport.base import TransportProfile
@@ -75,9 +76,9 @@ class GossipFailureDetector:
         monitor: Monitor | None = None,
     ) -> None:
         if node_count < 2:
-            raise ValueError("need at least two nodes")
+            raise ConfigurationError("need at least two nodes")
         if not 1 <= fanout < node_count:
-            raise ValueError("fanout must be in [1, node_count)")
+            raise ConfigurationError("fanout must be in [1, node_count)")
         self.sim = sim
         self.node_count = node_count
         self.gossip_interval_ms = gossip_interval_ms

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 from repro.baselines.allpairs import allpairs_message_rate
 from repro.baselines.gossip import GossipFailureDetector
+from repro.errors import BenchmarkError
 from repro.deployment import build_deployment
 from repro.sim.engine import Simulator
 from repro.tracing.failure import AdaptivePingPolicy
@@ -134,7 +135,7 @@ def run_gossip_comparison(
     gossip_msgs_per_s = gossip.messages_sent / (gossip_sim.now / 1000.0)
     times = gossip.detection_times_for(0)
     if not times:
-        raise RuntimeError("gossip never detected the crash")
+        raise BenchmarkError("gossip never detected the crash")
 
     # --- tracing side ---------------------------------------------------------
     dep = build_deployment(
@@ -160,7 +161,7 @@ def run_gossip_comparison(
     dep.sim.run(until=trace_crash_at + duration_ms)
     failed = watcher.traces_of_type(TraceType.FAILED)
     if not failed:
-        raise RuntimeError("tracing never detected the crash")
+        raise BenchmarkError("tracing never detected the crash")
     tracing_msgs_per_s = (_tracing_message_count(dep) - base_msgs) / (
         duration_ms / 1000.0
     )
@@ -376,7 +377,7 @@ def run_adaptive_ping_ablation(seed: int = 23) -> list[AdaptivePingResult]:
         dep.sim.run(until=crash_at + 120_000.0)
         failed = watcher.traces_of_type(TraceType.FAILED)
         if not failed:
-            raise RuntimeError(f"{label}: failure never detected")
+            raise BenchmarkError(f"{label}: failure never detected")
         results.append(
             AdaptivePingResult(
                 label=label,

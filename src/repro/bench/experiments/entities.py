@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.errors import BenchmarkError
 from repro.bench.topology import single_broker_colocated
 from repro.tracing.failure import AdaptivePingPolicy
 from repro.tracing.traces import TraceType
@@ -77,7 +78,7 @@ def run_entities_case(
     for tracker in trackers:
         latencies.extend(tracker.latencies(TraceType.ALLS_WELL))
     if not latencies:
-        raise RuntimeError(f"no heartbeats with {entity_count} entities")
+        raise BenchmarkError(f"no heartbeats with {entity_count} entities")
     return EntitiesResult(
         entity_count=entity_count,
         tracker_count=tracker_count,

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.errors import BenchmarkError, ConfigurationError
 from repro.bench.topology import hops_chain
 from repro.transport.base import TransportProfile
 from repro.transport.tcp import TCP_CLUSTER
@@ -54,7 +55,7 @@ def run_hops_case(
     # registry histogram is exactly the per-tracker sample set
     heartbeats = dep.metrics.histogram("tracker.trace.latency_ms.alls_well")
     if heartbeats.count == 0:
-        raise RuntimeError(
+        raise BenchmarkError(
             f"no heartbeats received for hops={hops} {profile.name} "
             f"secured={secured}"
         )
@@ -118,7 +119,7 @@ def slope_per_hop(results: list[HopsResult]) -> float:
     points = [(r.hops, r.summary.mean) for r in results]
     n = len(points)
     if n < 2:
-        raise ValueError("need at least two hop counts")
+        raise ConfigurationError("need at least two hop counts")
     sum_x = sum(x for x, _ in points)
     sum_y = sum(y for _, y in points)
     sum_xx = sum(x * x for x, _ in points)

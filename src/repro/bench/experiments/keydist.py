@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.errors import BenchmarkError
 from repro.bench.topology import hops_chain
 from repro.transport.base import TransportProfile
 from repro.transport.tcp import TCP_CLUSTER
@@ -68,7 +69,7 @@ def run_keydist_case(
     # one gauge-to-key round, so this histogram is the sample set
     rounds = dep.metrics.histogram("tracker.keydist.latency_ms")
     if rounds.count < tracker_count // 2:
-        raise RuntimeError(
+        raise BenchmarkError(
             f"only {rounds.count}/{tracker_count} trackers were keyed at "
             f"hops={hops}"
         )

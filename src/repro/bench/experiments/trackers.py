@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.errors import BenchmarkError
 from repro.bench.topology import star_with_trackers
 from repro.tracing.traces import TraceType
 from repro.transport.base import TransportProfile
@@ -46,7 +47,7 @@ def run_trackers_case(
 
     latencies = measuring.latencies(TraceType.ALLS_WELL)
     if not latencies:
-        raise RuntimeError(f"no heartbeats with {tracker_count} trackers")
+        raise BenchmarkError(f"no heartbeats with {tracker_count} trackers")
     return TrackersResult(
         tracker_count=tracker_count,
         transport=profile.name,

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
+from repro.errors import ConfigurationError, StatsError
 from repro.util.stats import RunningStats, StatSummary
 
 #: Two-sided 95% Student-t critical values by degrees of freedom.
@@ -25,7 +26,7 @@ _T95 = {
 def t_critical_95(dof: int) -> float:
     """Two-sided 95% t critical value (interpolates the standard table)."""
     if dof < 1:
-        raise ValueError("degrees of freedom must be >= 1")
+        raise StatsError("degrees of freedom must be >= 1")
     if dof in _T95:
         return _T95[dof]
     keys = sorted(_T95)
@@ -74,7 +75,7 @@ def replicate(
 ) -> ReplicatedResult:
     """Run ``case(seed)`` per seed; summarize the distribution of means."""
     if len(seeds) < 2:
-        raise ValueError("replication needs at least two seeds")
+        raise ConfigurationError("replication needs at least two seeds")
     means = RunningStats()
     per_seed = []
     for seed in seeds:

@@ -10,6 +10,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from xml.sax.saxutils import escape
 
+from repro.errors import ValidationError
+
 #: Line colors cycled across series.
 PALETTE = ["#1f6feb", "#d29922", "#2da44e", "#cf222e", "#8250df", "#bf3989"]
 
@@ -53,7 +55,7 @@ def line_chart(
 ) -> str:
     """Render a complete SVG document for the given series."""
     if not series or not any(s.points for s in series):
-        raise ValueError("need at least one non-empty series")
+        raise ValidationError("need at least one non-empty series")
 
     margin_left, margin_right = 64, 160
     margin_top, margin_bottom = 48, 56

@@ -11,6 +11,8 @@ traced entity and the measuring tracker were hosted on the same machine"
 from __future__ import annotations
 
 from repro.deployment import Deployment, build_deployment
+
+from repro.errors import ConfigurationError
 from repro.tracing.entity import TracedEntity
 from repro.tracing.failure import AdaptivePingPolicy
 from repro.tracing.interest import ALL_CATEGORIES, InterestCategory
@@ -33,7 +35,7 @@ def hops_chain(
 ) -> tuple[Deployment, TracedEntity, Tracker]:
     """Figure 1: entity -> broker chain -> measuring tracker, ``hops`` hops."""
     if hops < 2:
-        raise ValueError("the paper's topology needs at least 2 hops")
+        raise ConfigurationError("the paper's topology needs at least 2 hops")
     broker_ids = [f"broker-{i}" for i in range(hops - 1)]
     dep = build_deployment(
         broker_ids=broker_ids,
@@ -69,7 +71,7 @@ def star_with_trackers(
     (colocated with the entity) plus the load trackers.
     """
     if tracker_count < 0:
-        raise ValueError("tracker_count must be non-negative")
+        raise ConfigurationError("tracker_count must be non-negative")
     dep = build_deployment(
         broker_ids=["broker-entity", "broker-trackers"],
         topology="chain",

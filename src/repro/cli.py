@@ -17,6 +17,10 @@ Commands
 ``metrics``
     Run the quickstart scenario and print the full repro.obs metrics
     snapshot (text, or JSON with ``--json``).
+``analyze``
+    Run the repro.analysis domain linter over source trees (exit 1 on
+    findings; ``--format json`` for the stable machine-readable report,
+    ``--stats`` for per-rule counts via the metrics registry).
 """
 
 from __future__ import annotations
@@ -87,6 +91,38 @@ def _cmd_metrics(args) -> int:
             print(f"journal: {len(dep.journal)} events, "
                   f"kinds: {', '.join(dep.journal.kinds())}")
     return 0
+
+
+def _cmd_analyze(args) -> int:
+    """Run the domain linter; exit 0 clean, 1 on findings, 2 on bad usage."""
+    from repro.analysis import (
+        analyze_paths,
+        format_findings_json,
+        format_findings_text,
+        record_stats,
+    )
+    from repro.analysis.runner import select_checkers
+    from repro.errors import ConfigurationError
+    from repro.obs.registry import MetricsRegistry
+
+    try:
+        checkers = select_checkers(args.rules)
+        findings = analyze_paths(args.paths, checkers)
+    except ConfigurationError as exc:
+        print(f"repro analyze: {exc}", file=sys.stderr)
+        return 2
+    rules = [checker.rule for checker in checkers]
+
+    if args.format == "json":
+        print(format_findings_json(findings, rules))
+    else:
+        print(format_findings_text(findings))
+    if args.stats:
+        registry = MetricsRegistry()
+        record_stats(findings, registry, rules)
+        print()
+        print(registry.render_text())
+    return 1 if findings else 0
 
 
 def _cmd_bench(args) -> int:
@@ -302,6 +338,20 @@ def build_parser() -> argparse.ArgumentParser:
     metrics.add_argument("--json", action="store_true",
                          help="emit the snapshot as JSON")
 
+    analyze = sub.add_parser(
+        "analyze", help="run the repro.analysis domain linter (exit 1 on findings)"
+    )
+    analyze.add_argument("paths", nargs="*", default=["src"],
+                         help="files or directories to analyze (default: src)")
+    analyze.add_argument("--format", choices=["text", "json"], default="text",
+                         help="report format")
+    analyze.add_argument("--rules", type=lambda s: [r for r in s.split(",") if r],
+                         default=None, metavar="RULE[,RULE...]",
+                         help="restrict to a comma-separated subset of rules")
+    analyze.add_argument("--stats", action="store_true",
+                         help="also print per-rule counts as analysis.findings.* "
+                              "metrics-registry counters")
+
     return parser
 
 
@@ -313,6 +363,7 @@ def main(argv: list[str] | None = None) -> int:
         "bench": _cmd_bench,
         "demo": _cmd_demo,
         "metrics": _cmd_metrics,
+        "analyze": _cmd_analyze,
     }
     return handlers[args.command](args)
 

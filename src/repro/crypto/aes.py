@@ -12,7 +12,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
-from repro.errors import DecryptionError, KeyError_, PaddingError
+from repro.errors import CryptoInputError, DecryptionError, KeyMaterialError, PaddingError
 
 BLOCK_SIZE = 16
 
@@ -149,7 +149,7 @@ def _inv_mix_columns(state: list[int]) -> None:
 def encrypt_block(block: bytes, round_keys: list[list[int]]) -> bytes:
     """Encrypt one 16-byte block."""
     if len(block) != BLOCK_SIZE:
-        raise ValueError(f"block must be {BLOCK_SIZE} bytes")
+        raise CryptoInputError(f"block must be {BLOCK_SIZE} bytes")
     state = list(block)
     _add_round_key(state, round_keys[0])
     for r in range(1, len(round_keys) - 1):
@@ -166,7 +166,7 @@ def encrypt_block(block: bytes, round_keys: list[list[int]]) -> bytes:
 def decrypt_block(block: bytes, round_keys: list[list[int]]) -> bytes:
     """Decrypt one 16-byte block."""
     if len(block) != BLOCK_SIZE:
-        raise ValueError(f"block must be {BLOCK_SIZE} bytes")
+        raise CryptoInputError(f"block must be {BLOCK_SIZE} bytes")
     state = list(block)
     _add_round_key(state, round_keys[-1])
     for r in range(len(round_keys) - 2, 0, -1):
@@ -191,7 +191,7 @@ class AESKey:
 
     def __post_init__(self) -> None:
         if len(self.material) not in (16, 24, 32):
-            raise KeyError_(
+            raise KeyMaterialError(
                 f"AES key must be 16/24/32 bytes, got {len(self.material)}"
             )
 
@@ -206,7 +206,7 @@ class AESKey:
 def generate_aes_key(rng: random.Random, bits: int = 192) -> AESKey:
     """Fresh random AES key; default 192 bits per the paper."""
     if bits not in (128, 192, 256):
-        raise KeyError_(f"AES key size must be 128/192/256, got {bits}")
+        raise KeyMaterialError(f"AES key size must be 128/192/256, got {bits}")
     return AESKey(bytes(rng.randrange(256) for _ in range(bits // 8)))
 
 
@@ -236,7 +236,7 @@ def aes_cbc_encrypt(key: AESKey, plaintext: bytes, rng: random.Random) -> bytes:
     out = bytearray(iv)
     prev = iv
     for i in range(0, len(padded), BLOCK_SIZE):
-        block = bytes(a ^ b for a, b in zip(padded[i : i + BLOCK_SIZE], prev))
+        block = bytes(a ^ b for a, b in zip(padded[i : i + BLOCK_SIZE], prev, strict=True))
         prev = encrypt_block(block, round_keys)
         out += prev
     return bytes(out)
@@ -255,6 +255,6 @@ def aes_cbc_decrypt(key: AESKey, ciphertext: bytes) -> bytes:
     for i in range(BLOCK_SIZE, len(ciphertext), BLOCK_SIZE):
         block = ciphertext[i : i + BLOCK_SIZE]
         plain = decrypt_block(block, round_keys)
-        out += bytes(a ^ b for a, b in zip(plain, prev))
+        out += bytes(a ^ b for a, b in zip(plain, prev, strict=True))
         prev = block
     return pkcs7_unpad(bytes(out))

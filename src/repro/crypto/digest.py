@@ -12,6 +12,8 @@ import hashlib
 import hmac as _hmac
 from dataclasses import dataclass
 
+from repro.errors import CryptoInputError
+
 
 def sha1_digest(data: bytes) -> bytes:
     """160-bit SHA-1 digest (the paper's choice)."""
@@ -41,7 +43,7 @@ class Digest:
         try:
             fn = _ALGORITHMS[algorithm]
         except KeyError:
-            raise ValueError(f"unknown digest algorithm {algorithm!r}") from None
+            raise CryptoInputError(f"unknown digest algorithm {algorithm!r}") from None
         return cls(algorithm=algorithm, value=fn(data))
 
     def matches(self, data: bytes) -> bool:

@@ -17,6 +17,8 @@ from dataclasses import dataclass, field
 from repro.crypto.aes import AESKey, aes_cbc_decrypt, aes_cbc_encrypt, generate_aes_key
 from repro.crypto.rsa import RSAKeyPair, generate_rsa_keypair
 
+from repro.errors import KeyMaterialError
+
 
 @dataclass(frozen=True, slots=True)
 class SymmetricKey:
@@ -32,14 +34,14 @@ class SymmetricKey:
 
     def encrypt(self, plaintext: bytes, rng: random.Random) -> bytes:
         if self.algorithm != "AES/CBC" or self.padding != "PKCS7":
-            raise ValueError(
+            raise KeyMaterialError(
                 f"unsupported scheme {self.algorithm}/{self.padding}"
             )
         return aes_cbc_encrypt(self.key, plaintext, rng)
 
     def decrypt(self, ciphertext: bytes) -> bytes:
         if self.algorithm != "AES/CBC" or self.padding != "PKCS7":
-            raise ValueError(
+            raise KeyMaterialError(
                 f"unsupported scheme {self.algorithm}/{self.padding}"
             )
         return aes_cbc_decrypt(self.key, ciphertext)

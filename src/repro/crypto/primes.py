@@ -9,6 +9,8 @@ from __future__ import annotations
 
 import random
 
+from repro.errors import CryptoInputError
+
 # Primes below 100 — used for fast trial-division rejection.
 _SMALL_PRIMES = (
     2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47,
@@ -55,7 +57,7 @@ def is_probable_prime(n: int, rng: random.Random | None = None, rounds: int = 40
     if n < _DETERMINISTIC_BOUND:
         witnesses: tuple[int, ...] | list[int] = _DETERMINISTIC_WITNESSES
     else:
-        rng = rng or random.Random()
+        rng = rng or random.Random(n)  # deterministic: seeded by the candidate itself
         witnesses = [rng.randrange(2, n - 1) for _ in range(rounds)]
     for a in witnesses:
         if a % n == 0:
@@ -72,7 +74,7 @@ def generate_prime(bits: int, rng: random.Random) -> int:
     exactly ``2 * bits`` bits (standard RSA practice).
     """
     if bits < 8:
-        raise ValueError(f"prime size too small: {bits} bits")
+        raise CryptoInputError(f"prime size too small: {bits} bits")
     while True:
         candidate = rng.getrandbits(bits)
         candidate |= (1 << (bits - 1)) | (1 << (bits - 2))  # force size
@@ -98,5 +100,5 @@ def modinv(a: int, m: int) -> int:
     """Modular inverse of ``a`` mod ``m``; raises if not coprime."""
     g, x, _ = egcd(a % m, m)
     if g != 1:
-        raise ValueError(f"{a} has no inverse modulo {m}")
+        raise CryptoInputError(f"{a} has no inverse modulo {m}")
     return x % m

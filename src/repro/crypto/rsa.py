@@ -19,7 +19,7 @@ from dataclasses import dataclass
 
 from repro.crypto import digest as _digest
 from repro.crypto.primes import generate_prime, modinv
-from repro.errors import DecryptionError, KeyError_, PaddingError, SignatureError
+from repro.errors import DecryptionError, KeyMaterialError, PaddingError, SignatureError
 
 #: Simulation default modulus size (bits).  See module docstring.
 DEFAULT_KEY_BITS = 512
@@ -68,7 +68,7 @@ class RSAPublicKey:
         k = self.byte_length
         max_len = k - 11
         if len(plaintext) > max_len:
-            raise KeyError_(
+            raise KeyMaterialError(
                 f"plaintext too long for RSA block: {len(plaintext)} > {max_len}"
             )
         pad_len = k - 3 - len(plaintext)
@@ -148,7 +148,7 @@ def generate_rsa_keypair(
 ) -> RSAKeyPair:
     """Generate a fresh RSA key pair of ``bits`` modulus bits."""
     if bits < 128 or bits % 2:
-        raise KeyError_(f"modulus bits must be even and >= 128, got {bits}")
+        raise KeyMaterialError(f"modulus bits must be even and >= 128, got {bits}")
     half = bits // 2
     while True:
         p = generate_prime(half, rng)
@@ -173,6 +173,6 @@ def _emsa_pkcs1_v15(message: bytes, em_len: int) -> bytes:
     """EMSA-PKCS1-v1_5 encoding of SHA-1(message) into ``em_len`` bytes."""
     t = _SHA1_DIGEST_INFO_PREFIX + _digest.sha1_digest(message)
     if em_len < len(t) + 11:
-        raise KeyError_("modulus too small for EMSA-PKCS1-v1_5 with SHA-1")
+        raise KeyMaterialError("modulus too small for EMSA-PKCS1-v1_5 with SHA-1")
     ps = b"\xff" * (em_len - len(t) - 3)
     return b"\x00\x01" + ps + b"\x00" + t

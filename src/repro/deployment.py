@@ -17,6 +17,7 @@ from repro.auth.verification import TokenVerifier, TraceAuthorizationGuard
 from repro.crypto.certificates import CertificateAuthority
 from repro.crypto.costmodel import CryptoOp, OpCost
 from repro.crypto.rsa import RSAPublicKey
+from repro.errors import ConfigurationError
 from repro.messaging.broker_network import BrokerNetwork
 from repro.messaging.discovery import BrokerDiscoveryService
 from repro.obs import EventJournal, MetricsRegistry
@@ -169,13 +170,13 @@ def build_deployment(
     for broker_id in ids:
         network.add_broker(broker_id)
     if topology == "chain":
-        for left, right in zip(ids, ids[1:]):
+        for left, right in zip(ids, ids[1:], strict=False):
             network.connect_brokers(left, right)
     elif topology == "star" and len(ids) > 1:
         for spoke in ids[1:]:
             network.connect_brokers(ids[0], spoke)
     elif topology not in ("chain", "star", "none"):
-        raise ValueError(f"unknown topology {topology!r}")
+        raise ConfigurationError(f"unknown topology {topology!r}")
     for left, right in extra_links:
         network.connect_brokers(left, right)
 

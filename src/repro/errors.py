@@ -12,19 +12,62 @@ class ReproError(Exception):
     """Base class for all errors raised by this library."""
 
 
-class ConfigurationError(ReproError):
-    """A component was constructed or wired with invalid parameters."""
+class ConfigurationError(ReproError, ValueError):
+    """A component was constructed or wired with invalid parameters.
+
+    Also a :class:`ValueError`: bad wiring is almost always a bad argument,
+    and callers that predate the taxonomy catch it as one.
+    """
+
+
+class ValidationError(ReproError, ValueError):
+    """A runtime value failed a domain validity check (range, format, units)."""
+
+
+class StatsError(ValidationError):
+    """A statistics accumulator cannot answer (no samples, bad percentile)."""
+
+
+class InstrumentError(ValidationError):
+    """A metrics instrument was misused (kind conflict, decreasing counter)."""
 
 
 class SimulationError(ReproError):
     """The discrete-event simulator was driven into an invalid state."""
 
 
+class SeriesNotFoundError(ReproError, KeyError):
+    """A monitor was asked for a time series it never recorded."""
+
+    def __str__(self) -> str:
+        # KeyError.__str__ repr()s its argument; keep the plain message.
+        return str(self.args[0]) if self.args else ""
+
+
+class BenchmarkError(ReproError, RuntimeError):
+    """An experiment run produced no usable measurement."""
+
+
+# --- serialization ----------------------------------------------------------
+
+
+class SerializationError(ReproError):
+    """Base class for canonical-encoding failures."""
+
+
+class SerializationDecodeError(SerializationError, ValueError):
+    """Canonical bytes were truncated, malformed, or non-canonical."""
+
+
+class SerializationTypeError(SerializationError, TypeError):
+    """A value outside the canonical type universe was offered for encoding."""
+
+
 class TransportError(ReproError):
     """A simulated transport could not deliver or accept a payload."""
 
 
-class TopicError(ReproError):
+class TopicError(ReproError, ValueError):
     """A topic string is malformed or violates constrained-topic syntax."""
 
 
@@ -43,8 +86,18 @@ class CryptoError(ReproError):
     """Base class for cryptographic failures."""
 
 
-class KeyError_(CryptoError):
+class KeyMaterialError(CryptoError, ValueError):
     """A key was malformed, of the wrong type, or of the wrong size."""
+
+
+#: Deprecated alias for :class:`KeyMaterialError`.  The old trailing-underscore
+#: name both hid its intent and pattern-matched the builtin ``KeyError`` that
+#: the ERR01 linter rule bans; prefer the new name.
+KeyError_ = KeyMaterialError
+
+
+class CryptoInputError(CryptoError, ValueError):
+    """Non-key cryptographic input was invalid (block size, algorithm, modulus)."""
 
 
 class SignatureError(CryptoError):
@@ -66,11 +119,19 @@ class CertificateError(CryptoError):
 # --- discovery / authorization ---------------------------------------------
 
 
-class DiscoveryError(ReproError):
+class TdnError(ReproError):
+    """Base class for Topic Discovery Node failures."""
+
+
+class DiscoveryError(TdnError):
     """A topic or broker discovery operation failed."""
 
 
-class UnauthorizedError(ReproError):
+class AuthorizationError(ReproError):
+    """Base class for authorization failures (tokens, entitlements, ACLs)."""
+
+
+class UnauthorizedError(AuthorizationError):
     """An entity attempted an action it is not authorized to perform."""
 
 

@@ -161,7 +161,7 @@ class BrokerNetwork:
         brokers = [
             self._brokers.get(bid) or self.add_broker(bid) for bid in ids
         ]
-        for left, right in zip(ids, ids[1:]):
+        for left, right in zip(ids, ids[1:], strict=False):
             self.connect_brokers(left, right, profile)
         return brokers
 

@@ -19,6 +19,7 @@ from __future__ import annotations
 import bisect
 import math
 
+from repro.errors import InstrumentError
 from repro.util.stats import RunningStats, StatSummary
 
 #: Default histogram bucket upper bounds, in milliseconds.  Spans the range
@@ -46,7 +47,7 @@ class Counter:
     def inc(self, by: int = 1) -> None:
         """Add ``by`` (must be non-negative — counters never decrease)."""
         if by < 0:
-            raise ValueError(f"counter {self.name!r} cannot decrease (by={by})")
+            raise InstrumentError(f"counter {self.name!r} cannot decrease (by={by})")
         self._value += by
 
     def __repr__(self) -> str:
@@ -93,7 +94,7 @@ class Histogram:
         self, name: str, bounds: tuple[float, ...] = DEFAULT_BUCKETS_MS
     ) -> None:
         if not bounds or list(bounds) != sorted(set(bounds)):
-            raise ValueError("bucket bounds must be strictly increasing")
+            raise InstrumentError("bucket bounds must be strictly increasing")
         self.name = name
         self.bounds = tuple(float(b) for b in bounds)
         self._bucket_counts = [0] * len(self.bounds)
@@ -141,7 +142,7 @@ class Histogram:
 
     def bucket_counts(self) -> dict[str, int]:
         """Cumulative-free view: ``"<=bound" -> count`` plus ``"+inf"``."""
-        out = {f"<={b:g}": c for b, c in zip(self.bounds, self._bucket_counts)}
+        out = {f"<={b:g}": c for b, c in zip(self.bounds, self._bucket_counts, strict=True)}
         out["+inf"] = self._overflow
         return out
 
@@ -152,14 +153,14 @@ class Histogram:
         observed min/max so estimates never leave the sampled range.
         """
         if not 0.0 <= q <= 100.0:
-            raise ValueError(f"percentile out of range: {q}")
+            raise InstrumentError(f"percentile out of range: {q}")
         n = self._stats.count
         if n == 0:
-            raise ValueError(f"histogram {self.name!r} is empty")
+            raise InstrumentError(f"histogram {self.name!r} is empty")
         rank = (q / 100.0) * n
         cumulative = 0
         lower = 0.0
-        for bound, count in zip(self.bounds, self._bucket_counts):
+        for bound, count in zip(self.bounds, self._bucket_counts, strict=True):
             upper = bound
             if cumulative + count >= rank and count > 0:
                 frac = (rank - cumulative) / count

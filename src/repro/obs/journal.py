@@ -73,8 +73,8 @@ class JournalRecord:
             parts.append(f"principal={self.principal}")
         if self.size_bytes is not None:
             parts.append(f"size={self.size_bytes}B")
-        for key in sorted(self.fields):
-            parts.append(f"{key}={self.fields[key]}")
+        for field_name in sorted(self.fields):
+            parts.append(f"{field_name}={self.fields[field_name]}")
         return " ".join(parts)
 
 

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import json
 
+from repro.errors import InstrumentError
 from repro.obs.instruments import Counter, Gauge, Histogram, format_value
 from repro.obs.timer import Timer
 from repro.util.clock import Clock
@@ -32,7 +33,7 @@ class MetricsRegistry:
     def _check_unique(self, name: str, kind: dict) -> None:
         for registry in (self._counters, self._gauges, self._histograms):
             if registry is not kind and name in registry:
-                raise ValueError(
+                raise InstrumentError(
                     f"instrument {name!r} already registered with a different kind"
                 )
 

@@ -20,6 +20,7 @@ from __future__ import annotations
 from collections import defaultdict
 from dataclasses import dataclass, field
 
+from repro.errors import SeriesNotFoundError, StatsError
 from repro.obs import EventJournal, MetricsRegistry
 from repro.util.stats import RunningStats, StatSummary
 
@@ -46,7 +47,7 @@ class Series:
 
     def last(self) -> float:
         if not self.values:
-            raise ValueError(f"series {self.name!r} is empty")
+            raise StatsError(f"series {self.name!r} is empty")
         return self.values[-1]
 
 
@@ -84,7 +85,7 @@ class Monitor:
 
     def summary(self, name: str) -> StatSummary:
         if name not in self._series:
-            raise KeyError(f"no series named {name!r}")
+            raise SeriesNotFoundError(f"no series named {name!r}")
         return self._series[name].summary()
 
     # -- counters --------------------------------------------------------------

@@ -108,7 +108,7 @@ class EntityRecord:
         """Mean gap between an interval's end and the next one's start."""
         gaps = [
             later.start_ms - earlier.end_ms
-            for earlier, later in zip(self.intervals, self.intervals[1:])
+            for earlier, later in zip(self.intervals, self.intervals[1:], strict=False)
             if earlier.end_ms is not None
         ]
         return sum(gaps) / len(gaps) if gaps else None

@@ -31,6 +31,7 @@ from repro.errors import (
     DecryptionError,
     RegistrationError,
     SignatureError,
+    TopicError,
 )
 from repro.messaging.broker import Broker
 from repro.messaging.message import Message
@@ -77,7 +78,7 @@ def category_of(trace_type: TraceType) -> InterestCategory:
         return InterestCategory.LOAD
     if trace_type is TraceType.NETWORK_METRICS:
         return InterestCategory.NETWORK_METRICS
-    raise ValueError(f"{trace_type} has no gating category")
+    raise TopicError(f"{trace_type} has no gating category")
 
 
 class TraceManager:

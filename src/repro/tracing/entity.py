@@ -23,7 +23,7 @@ from repro.crypto.costmodel import CryptoOp
 from repro.crypto.keys import SymmetricKey
 from repro.crypto.rsa import RSAPublicKey
 from repro.crypto.signing import open_sealed, seal_for
-from repro.errors import RegistrationError
+from repro.errors import RegistrationError, ValidationError
 from repro.messaging.broker_network import BrokerNetwork
 from repro.messaging.message import Message
 from repro.sim.engine import Event, Simulator
@@ -382,7 +382,7 @@ class TracedEntity:
         """Transition the state machine and notify the broker (section 3.3)."""
         if new_state is not self.state:
             if new_state not in VALID_TRANSITIONS[self.state]:
-                raise ValueError(
+                raise ValidationError(
                     f"illegal transition {self.state.value} -> {new_state.value}"
                 )
             self.state = new_state

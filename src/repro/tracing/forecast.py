@@ -17,6 +17,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Callable
 
+from repro.errors import ConfigurationError
 from repro.tracing.tracker import ReceivedTrace, Tracker
 from repro.tracing.traces import TraceType
 
@@ -53,9 +54,9 @@ class SeriesForecaster:
 
     def __init__(self, window: int = 10, ewma_alpha: float = 0.3) -> None:
         if window < 1:
-            raise ValueError("window must be >= 1")
+            raise ConfigurationError("window must be >= 1")
         if not 0.0 < ewma_alpha <= 1.0:
-            raise ValueError("ewma_alpha must be in (0, 1]")
+            raise ConfigurationError("ewma_alpha must be in (0, 1]")
         self.window = window
         self.ewma_alpha = ewma_alpha
         self._values: deque[float] = deque(maxlen=window)

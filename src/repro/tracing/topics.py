@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.errors import TopicError
 from repro.messaging.topics import Topic
 from repro.tracing.interest import InterestCategory
 from repro.tracing.traces import (
@@ -134,7 +135,7 @@ class TraceTopicSet:
             return self.network_metrics
         if trace_type is TraceType.GUAGE_INTEREST:
             return self.interest_request
-        raise ValueError(f"no publication topic for {trace_type}")
+        raise TopicError(f"no publication topic for {trace_type}")
 
     def topic_for_category(self, category: InterestCategory) -> Topic:
         return {

@@ -11,6 +11,8 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
+from repro.errors import ValidationError
+
 
 class EntityState(enum.Enum):
     """States a traced entity passes through (section 3.3)."""
@@ -93,13 +95,13 @@ class LoadInformation:
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.cpu_utilization <= 1.0:
-            raise ValueError(f"cpu_utilization out of [0,1]: {self.cpu_utilization}")
+            raise ValidationError(f"cpu_utilization out of [0,1]: {self.cpu_utilization}")
         if self.memory_used_mb < 0 or self.memory_total_mb <= 0:
-            raise ValueError("memory figures must be non-negative / positive")
+            raise ValidationError("memory figures must be non-negative / positive")
         if self.memory_used_mb > self.memory_total_mb:
-            raise ValueError("memory_used_mb exceeds memory_total_mb")
+            raise ValidationError("memory_used_mb exceeds memory_total_mb")
         if self.workload < 0:
-            raise ValueError("workload must be non-negative")
+            raise ValidationError("workload must be non-negative")
 
     @property
     def memory_utilization(self) -> float:
@@ -139,13 +141,13 @@ class NetworkMetrics:
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.loss_rate <= 1.0:
-            raise ValueError(f"loss_rate out of [0,1]: {self.loss_rate}")
+            raise ValidationError(f"loss_rate out of [0,1]: {self.loss_rate}")
         if not 0.0 <= self.out_of_order_rate <= 1.0:
-            raise ValueError(
+            raise ValidationError(
                 f"out_of_order_rate out of [0,1]: {self.out_of_order_rate}"
             )
         if self.mean_rtt_ms < 0 or self.jitter_ms < 0:
-            raise ValueError("delay metrics must be non-negative")
+            raise ValidationError("delay metrics must be non-negative")
 
     def to_dict(self) -> dict:
         return {

@@ -13,6 +13,8 @@ import random
 import time
 from abc import ABC, abstractmethod
 
+from repro.errors import ConfigurationError, ValidationError
+
 #: The paper's stated NTP synchronization band, in milliseconds.
 NTP_SKEW_MIN_MS = 30.0
 NTP_SKEW_MAX_MS = 100.0
@@ -38,13 +40,13 @@ class VirtualClock(Clock):
     def advance_to(self, t: float) -> None:
         """Move the clock forward to absolute time ``t`` (never backward)."""
         if t < self._now:
-            raise ValueError(f"clock cannot move backward: {t} < {self._now}")
+            raise ValidationError(f"clock cannot move backward: {t} < {self._now}")
         self._now = t
 
     def advance_by(self, dt: float) -> None:
         """Move the clock forward by ``dt`` milliseconds."""
         if dt < 0:
-            raise ValueError(f"negative advance: {dt}")
+            raise ValidationError(f"negative advance: {dt}")
         self._now += dt
 
 
@@ -52,10 +54,10 @@ class WallClock(Clock):
     """Real time, for the asyncio live runtime."""
 
     def __init__(self) -> None:
-        self._epoch = time.monotonic()
+        self._epoch = time.monotonic()  # repro: noqa[DET01] the wall-clock bridge itself
 
     def now(self) -> float:
-        return (time.monotonic() - self._epoch) * 1000.0
+        return (time.monotonic() - self._epoch) * 1000.0  # repro: noqa[DET01]
 
 
 class SkewedClock(Clock):
@@ -89,9 +91,9 @@ class NTPSkewModel:
         p_synced: float = 0.0,
     ) -> None:
         if min_skew_ms < 0 or max_skew_ms < min_skew_ms:
-            raise ValueError("require 0 <= min_skew_ms <= max_skew_ms")
+            raise ConfigurationError("require 0 <= min_skew_ms <= max_skew_ms")
         if not 0.0 <= p_synced <= 1.0:
-            raise ValueError("p_synced must be in [0, 1]")
+            raise ConfigurationError("p_synced must be in [0, 1]")
         self._rng = random.Random(seed)
         self.min_skew_ms = min_skew_ms
         self.max_skew_ms = max_skew_ms

@@ -14,6 +14,8 @@ import random
 from dataclasses import dataclass, field
 from typing import Iterator
 
+from repro.errors import ValidationError
+
 
 @dataclass(frozen=True, slots=True)
 class UUID128:
@@ -27,7 +29,7 @@ class UUID128:
 
     def __post_init__(self) -> None:
         if not 0 <= self.value < (1 << 128):
-            raise ValueError(f"UUID128 value out of range: {self.value!r}")
+            raise ValidationError(f"UUID128 value out of range: {self.value!r}")
 
     @property
     def hex(self) -> str:
@@ -44,13 +46,13 @@ class UUID128:
         """Parse a 32-hex-digit string (dashes tolerated)."""
         cleaned = text.replace("-", "")
         if len(cleaned) != 32:
-            raise ValueError(f"expected 32 hex digits, got {text!r}")
+            raise ValidationError(f"expected 32 hex digits, got {text!r}")
         return cls(int(cleaned, 16))
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "UUID128":
         if len(data) != 16:
-            raise ValueError(f"expected 16 bytes, got {len(data)}")
+            raise ValidationError(f"expected 16 bytes, got {len(data)}")
         return cls(int.from_bytes(data, "big"))
 
     def __str__(self) -> str:
@@ -96,9 +98,9 @@ class EntityId:
 
     def __post_init__(self) -> None:
         if not self.name:
-            raise ValueError("EntityId must be non-empty")
+            raise ValidationError("EntityId must be non-empty")
         if "/" in self.name:
-            raise ValueError(f"EntityId may not contain '/': {self.name!r}")
+            raise ValidationError(f"EntityId may not contain '/': {self.name!r}")
 
     def __str__(self) -> str:
         return self.name

@@ -17,6 +17,8 @@ from __future__ import annotations
 import struct
 from typing import Any
 
+from repro.errors import SerializationDecodeError, SerializationTypeError
+
 _TAG_NONE = b"N"
 _TAG_TRUE = b"T"
 _TAG_FALSE = b"F"
@@ -75,13 +77,13 @@ def _encode_into(value: Any, out: bytearray) -> None:
         keys = list(value.keys())
         for key in keys:
             if not isinstance(key, str):
-                raise TypeError(f"dict keys must be str, got {type(key).__name__}")
+                raise SerializationTypeError(f"dict keys must be str, got {type(key).__name__}")
         for key in sorted(keys):
             _encode_into(key, out)
             _encode_into(value[key], out)
         out += _TAG_END
     else:
-        raise TypeError(f"cannot canonically encode {type(value).__name__}")
+        raise SerializationTypeError(f"cannot canonically encode {type(value).__name__}")
 
 
 def canonical_decode(data: bytes) -> Any:
@@ -91,23 +93,23 @@ def canonical_decode(data: bytes) -> Any:
     """
     value, offset = _decode_from(data, 0)
     if offset != len(data):
-        raise ValueError(f"trailing bytes after canonical value at offset {offset}")
+        raise SerializationDecodeError(f"trailing bytes after canonical value at offset {offset}")
     return value
 
 
 def _read_length(data: bytes, offset: int) -> tuple[int, int]:
     end = data.find(b":", offset)
     if end < 0:
-        raise ValueError("missing length delimiter")
+        raise SerializationDecodeError("missing length delimiter")
     text = data[offset:end]
     if not text or not text.lstrip(b"-").isdigit():
-        raise ValueError(f"bad length field {text!r}")
+        raise SerializationDecodeError(f"bad length field {text!r}")
     return int(text), end + 1
 
 
 def _decode_from(data: bytes, offset: int) -> tuple[Any, int]:
     if offset >= len(data):
-        raise ValueError("unexpected end of canonical data")
+        raise SerializationDecodeError("unexpected end of canonical data")
     tag = data[offset : offset + 1]
     offset += 1
     if tag == _TAG_NONE:
@@ -120,30 +122,30 @@ def _decode_from(data: bytes, offset: int) -> tuple[Any, int]:
         length, offset = _read_length(data, offset)
         chunk = data[offset : offset + length]
         if len(chunk) != length:
-            raise ValueError("truncated int")
+            raise SerializationDecodeError("truncated int")
         return int(chunk), offset + length
     if tag == _TAG_FLOAT:
         chunk = data[offset : offset + 8]
         if len(chunk) != 8:
-            raise ValueError("truncated float")
+            raise SerializationDecodeError("truncated float")
         return struct.unpack(">d", chunk)[0], offset + 8
     if tag == _TAG_STR:
         length, offset = _read_length(data, offset)
         chunk = data[offset : offset + length]
         if len(chunk) != length:
-            raise ValueError("truncated str")
+            raise SerializationDecodeError("truncated str")
         return chunk.decode("utf-8"), offset + length
     if tag == _TAG_BYTES:
         length, offset = _read_length(data, offset)
         chunk = data[offset : offset + length]
         if len(chunk) != length:
-            raise ValueError("truncated bytes")
+            raise SerializationDecodeError("truncated bytes")
         return chunk, offset + length
     if tag == _TAG_LIST:
         items: list[Any] = []
         while True:
             if offset >= len(data):
-                raise ValueError("unterminated list")
+                raise SerializationDecodeError("unterminated list")
             if data[offset : offset + 1] == _TAG_END:
                 return items, offset + 1
             item, offset = _decode_from(data, offset)
@@ -153,15 +155,15 @@ def _decode_from(data: bytes, offset: int) -> tuple[Any, int]:
         previous_key: str | None = None
         while True:
             if offset >= len(data):
-                raise ValueError("unterminated dict")
+                raise SerializationDecodeError("unterminated dict")
             if data[offset : offset + 1] == _TAG_END:
                 return result, offset + 1
             key, offset = _decode_from(data, offset)
             if not isinstance(key, str):
-                raise ValueError("dict key must decode to str")
+                raise SerializationDecodeError("dict key must decode to str")
             if previous_key is not None and key <= previous_key:
-                raise ValueError("dict keys not in canonical order")
+                raise SerializationDecodeError("dict keys not in canonical order")
             previous_key = key
             value, offset = _decode_from(data, offset)
             result[key] = value
-    raise ValueError(f"unknown tag {tag!r} at offset {offset - 1}")
+    raise SerializationDecodeError(f"unknown tag {tag!r} at offset {offset - 1}")

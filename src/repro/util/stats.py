@@ -12,6 +12,8 @@ import math
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
+from repro.errors import StatsError
+
 
 @dataclass(frozen=True, slots=True)
 class StatSummary:
@@ -78,7 +80,7 @@ class RunningStats:
     @property
     def mean(self) -> float:
         if self._n == 0:
-            raise ValueError("no samples")
+            raise StatsError("no samples")
         return self._mean
 
     @property
@@ -102,18 +104,18 @@ class RunningStats:
     @property
     def minimum(self) -> float:
         if self._n == 0:
-            raise ValueError("no samples")
+            raise StatsError("no samples")
         return self._min
 
     @property
     def maximum(self) -> float:
         if self._n == 0:
-            raise ValueError("no samples")
+            raise StatsError("no samples")
         return self._max
 
     def summary(self) -> StatSummary:
         if self._n == 0:
-            raise ValueError("no samples to summarize")
+            raise StatsError("no samples to summarize")
         return StatSummary(
             count=self._n,
             mean=self.mean,
@@ -154,9 +156,9 @@ def summarize(samples: Sequence[float]) -> StatSummary:
 def percentile(samples: Sequence[float], q: float) -> float:
     """Linear-interpolation percentile, q in [0, 100]."""
     if not samples:
-        raise ValueError("no samples")
+        raise StatsError("no samples")
     if not 0.0 <= q <= 100.0:
-        raise ValueError(f"percentile out of range: {q}")
+        raise StatsError(f"percentile out of range: {q}")
     ordered = sorted(samples)
     if len(ordered) == 1:
         return ordered[0]

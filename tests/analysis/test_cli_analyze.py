@@ -1,0 +1,87 @@
+"""The ``repro analyze`` subcommand: exit codes, formats, stats."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+DIRTY = "import time\ndef f():\n    stamp = time.time()\n    raise ValueError(stamp)\n"
+CLEAN = "def f():\n    return 1\n"
+
+
+@pytest.fixture()
+def dirty_file(tmp_path):
+    target = tmp_path / "src" / "repro" / "sim" / "example.py"
+    target.parent.mkdir(parents=True)
+    target.write_text(DIRTY)
+    return target
+
+
+@pytest.fixture()
+def clean_file(tmp_path):
+    target = tmp_path / "src" / "repro" / "sim" / "example.py"
+    target.parent.mkdir(parents=True)
+    target.write_text(CLEAN)
+    return target
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, clean_file, capsys):
+        assert main(["analyze", str(clean_file)]) == 0
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, dirty_file, capsys):
+        assert main(["analyze", str(dirty_file)]) == 1
+        out = capsys.readouterr().out
+        assert "DET01" in out and "ERR01" in out
+
+    def test_unknown_rule_exits_two(self, clean_file, capsys):
+        assert main(["analyze", str(clean_file), "--rules", "NOPE99"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        assert main(["analyze", str(tmp_path / "ghost")]) == 2
+
+
+class TestRuleSelection:
+    def test_rules_filter_restricts_findings(self, dirty_file, capsys):
+        assert main(["analyze", str(dirty_file), "--rules", "ERR01"]) == 1
+        out = capsys.readouterr().out
+        assert "ERR01" in out and "DET01" not in out
+
+
+class TestJsonFormat:
+    def test_json_report_schema(self, dirty_file, capsys):
+        assert main(["analyze", str(dirty_file), "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["schema_version"] == 1
+        rules = {f["rule"] for f in payload["findings"]}
+        assert {"DET01", "ERR01"} <= rules
+        for record in payload["findings"]:
+            assert set(record) == {
+                "rule", "severity", "path", "line", "message", "hint",
+            }
+
+    def test_json_clean_report(self, clean_file, capsys):
+        assert main(["analyze", str(clean_file), "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["findings"] == []
+
+
+class TestStats:
+    def test_stats_render_registry_counters(self, dirty_file, capsys):
+        assert main(["analyze", str(dirty_file), "--stats"]) == 1
+        out = capsys.readouterr().out
+        assert "analysis.findings.det01" in out
+        assert "analysis.findings.err01" in out
+        # quiet rules are rendered too, at zero
+        assert "analysis.findings.obs01" in out
+
+    def test_noqa_marked_file_is_clean(self, tmp_path, capsys):
+        target = tmp_path / "src" / "repro" / "sim" / "example.py"
+        target.parent.mkdir(parents=True)
+        target.write_text(
+            "import time\nstamp = time.time()  # repro: noqa[DET01]\n"
+        )
+        assert main(["analyze", str(target)]) == 0

@@ -1,0 +1,93 @@
+"""CRY01 — key material out of observable output; no degenerate cipher modes."""
+
+from repro.analysis.base import analyze_source
+from repro.analysis.rules.crypto_hygiene import SecretExposureChecker, is_secret_name
+
+CRYPTO_PATH = "src/repro/security/example.py"
+
+
+def cry01(source, path=CRYPTO_PATH):
+    return analyze_source(source, path, [SecretExposureChecker()])
+
+
+class TestSecretNameHeuristic:
+    def test_key_material_names(self):
+        assert is_secret_name("trace_key")
+        assert is_secret_name("secret")
+        assert is_secret_name("private_exponent")
+        assert is_secret_name("session_keys")
+
+    def test_key_metadata_names_are_not_secret(self):
+        assert not is_secret_name("key_bits")
+        assert not is_secret_name("key_size")
+        assert not is_secret_name("key_id")
+        assert not is_secret_name("key_fingerprint")
+
+    def test_unrelated_names(self):
+        assert not is_secret_name("monkey")
+        assert not is_secret_name("broker_id")
+
+
+class TestCRY01Fires:
+    def test_secret_in_fstring(self):
+        findings = cry01('def f(trace_key):\n    return f"key is {trace_key}"\n')
+        assert [f.rule for f in findings] == ["CRY01"]
+        assert "trace_key" in findings[0].message
+
+    def test_secret_attribute_in_fstring(self):
+        findings = cry01('def f(self):\n    return f"{self.private_key}"\n')
+        assert len(findings) == 1
+
+    def test_repr_of_secret(self):
+        findings = cry01("def f(secret):\n    return repr(secret)\n")
+        assert len(findings) == 1
+
+    def test_secret_passed_to_journal_record(self):
+        source = (
+            "def f(journal, trace_key):\n"
+            "    journal.record('keydist', key=trace_key)\n"
+        )
+        findings = cry01(source)
+        assert len(findings) == 1
+
+    def test_secret_passed_to_log_call(self):
+        source = "def f(logger, private_key):\n    logger.debug(private_key)\n"
+        assert len(cry01(source)) == 1
+
+    def test_constant_iv(self):
+        source = "def f(cipher, data):\n    return cipher.encrypt(data, iv=b'0000000000000000')\n"
+        findings = cry01(source)
+        assert len(findings) == 1
+        assert "constant IV" in findings[0].message
+
+    def test_ecb_call(self):
+        source = "def f(aes, data):\n    return aes_ecb_encrypt(aes, data)\n"
+        findings = cry01(source)
+        assert "ECB" in findings[0].message
+
+    def test_raw_block_encryption_outside_cipher_core(self):
+        source = "def f(block, keys):\n    return encrypt_block(block, keys)\n"
+        findings = cry01(source)
+        assert len(findings) == 1
+        assert "ECB-shaped" in findings[0].message
+
+
+class TestCRY01StaysQuiet:
+    def test_key_metadata_in_fstring_is_fine(self):
+        assert cry01('def f(key_bits):\n    return f"AES-{key_bits}"\n') == []
+
+    def test_fingerprint_logging_is_fine(self):
+        source = "def f(journal, key_fingerprint):\n    journal.record('keydist', kid=key_fingerprint)\n"
+        assert cry01(source) == []
+
+    def test_fresh_iv_from_rng_is_fine(self):
+        source = "def f(cipher, data, rng):\n    return cipher.encrypt(data, iv=rng.randbytes(16))\n"
+        assert cry01(source) == []
+
+    def test_block_helpers_inside_cipher_core_are_fine(self):
+        source = "def f(block, keys):\n    return encrypt_block(block, keys)\n"
+        assert cry01(source, path="src/repro/crypto/aes.py") == []
+
+    def test_noqa_suppresses(self):
+        source = "def f(secret):\n    return repr(secret)  # repro: noqa[CRY01]\n"
+        assert cry01(source) == []

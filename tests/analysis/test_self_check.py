@@ -1,0 +1,22 @@
+"""The shipped source tree must satisfy its own linter.
+
+This is the contract the CI ``analyze`` job enforces; keeping it in the
+tier-1 suite means a violation fails fast locally, with the finding text
+in the assertion message.
+"""
+
+from pathlib import Path
+
+from repro.analysis import analyze_paths, format_findings_text
+
+SRC = Path(__file__).resolve().parent.parent.parent / "src" / "repro"
+
+
+def test_shipped_tree_is_clean():
+    findings = analyze_paths([SRC])
+    assert findings == [], "\n" + format_findings_text(findings)
+
+
+def test_shipped_tree_has_files_to_check():
+    # guard against a silently-empty walk making the test above vacuous
+    assert sum(1 for _ in SRC.rglob("*.py")) > 50

@@ -15,7 +15,7 @@ from repro.crypto.aes import (
     pkcs7_pad,
     pkcs7_unpad,
 )
-from repro.errors import DecryptionError, KeyError_, PaddingError
+from repro.errors import DecryptionError, KeyMaterialError, PaddingError
 
 FIPS_PLAINTEXT = bytes.fromhex("00112233445566778899aabbccddeeff")
 FIPS_VECTORS = [
@@ -59,9 +59,9 @@ class TestAESKey:
         assert generate_aes_key(rng).bits == 192
 
     def test_rejects_bad_sizes(self, rng):
-        with pytest.raises(KeyError_):
+        with pytest.raises(KeyMaterialError):
             AESKey(b"short")
-        with pytest.raises(KeyError_):
+        with pytest.raises(KeyMaterialError):
             generate_aes_key(rng, 64)
 
     def test_block_functions_reject_bad_length(self, rng):

@@ -6,7 +6,7 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.crypto.rsa import generate_rsa_keypair
-from repro.errors import DecryptionError, KeyError_, PaddingError, SignatureError
+from repro.errors import DecryptionError, KeyMaterialError, PaddingError, SignatureError
 
 
 class TestKeyGeneration:
@@ -28,9 +28,9 @@ class TestKeyGeneration:
         assert a.public == b.public
 
     def test_rejects_bad_sizes(self):
-        with pytest.raises(KeyError_):
+        with pytest.raises(KeyMaterialError):
             generate_rsa_keypair(random.Random(0), bits=100)
-        with pytest.raises(KeyError_):
+        with pytest.raises(KeyMaterialError):
             generate_rsa_keypair(random.Random(0), bits=513)
 
     def test_fingerprint_stable_and_distinct(self, keypair, second_keypair):
@@ -104,7 +104,7 @@ class TestEncryption:
 
     def test_plaintext_too_long_rejected(self, keypair, rng):
         max_len = keypair.public.byte_length - 11
-        with pytest.raises(KeyError_):
+        with pytest.raises(KeyMaterialError):
             keypair.public.encrypt(b"x" * (max_len + 1), rng)
         # boundary: exactly max_len is fine
         ciphertext = keypair.public.encrypt(b"x" * max_len, rng)

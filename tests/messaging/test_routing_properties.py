@@ -16,7 +16,7 @@ def connected_graphs(draw):
     graph = nx.gnp_random_graph(n, p, seed=seed)
     # force connectivity by chaining components
     components = [list(c) for c in nx.connected_components(graph)]
-    for a, b in zip(components, components[1:]):
+    for a, b in zip(components, components[1:], strict=False):
         graph.add_edge(a[0], b[0])
     return {node: set(graph.neighbors(node)) for node in graph.nodes}
 

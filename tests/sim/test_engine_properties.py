@@ -30,7 +30,7 @@ class TestSchedulingProperties:
         for i, d in enumerate(ds):
             sim.call_later(d, lambda i=i, d=d: fired.append((d, i)))
         sim.run()
-        for (d1, i1), (d2, i2) in zip(fired, fired[1:]):
+        for (d1, i1), (d2, i2) in zip(fired, fired[1:], strict=False):
             if d1 == d2:
                 assert i1 < i2
 

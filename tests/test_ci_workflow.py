@@ -25,9 +25,14 @@ def test_triggers_cover_push_and_pr(workflow):
     assert "pull_request" in triggers
 
 
-def test_has_lint_test_and_bench_jobs(workflow):
+def test_has_lint_analyze_test_and_bench_jobs(workflow):
     jobs = workflow["jobs"]
-    assert set(jobs) == {"lint", "test", "bench-smoke"}
+    assert set(jobs) == {"lint", "analyze", "test", "bench-smoke"}
+
+
+def test_analyze_job_runs_domain_linter(workflow):
+    runs = [step.get("run") or "" for step in workflow["jobs"]["analyze"]["steps"]]
+    assert any("repro analyze src" in run for run in runs)
 
 
 def test_test_matrix_covers_supported_pythons(workflow):
