@@ -36,11 +36,19 @@ def test_figure4_trackers(benchmark, report, save_figure):
         series[f"{transport} trace time (ms)"] = [
             (r.tracker_count, r.summary.mean) for r in results
         ]
+    routing_lines = ["", "routing counters per case:"]
+    for transport, results in by_transport.items():
+        for r in results:
+            if r.routing is not None:
+                routing_lines.append(
+                    f"  {transport} N={r.tracker_count:<3d} {r.routing.render()}"
+                )
     report(
         "figure4_trackers",
         render_series(
             "Figure 4: trace time vs number of trackers", "trackers", series
-        ),
+        )
+        + "\n".join(routing_lines),
     )
     from repro.bench.svgplot import series_dict_to_svg
 

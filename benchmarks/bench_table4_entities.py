@@ -33,11 +33,18 @@ def test_table4_entities(benchmark, report):
                 measured=result.summary,
             )
         )
+    routing_lines = ["", "routing counters per case:"]
+    for result in results:
+        if result.routing is not None:
+            routing_lines.append(
+                f"  entities={result.entity_count:<3d} {result.routing.render()}"
+            )
     report(
         "table4_entities",
         render_comparison(
             "Table 4: trace routing overhead by traced entities (TCP)", rows
-        ),
+        )
+        + "\n".join(routing_lines),
     )
 
     ordered = sorted(results, key=lambda r: r.entity_count)

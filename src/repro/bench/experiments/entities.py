@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import BenchmarkError
+from repro.bench.routing_smoke import RoutingCounters
 from repro.bench.topology import single_broker_colocated
 from repro.tracing.failure import AdaptivePingPolicy
 from repro.tracing.traces import TraceType
@@ -36,6 +37,7 @@ class EntitiesResult:
     tracker_count: int
     samples: int
     summary: StatSummary
+    routing: RoutingCounters | None = None
 
 
 def run_entities_case(
@@ -84,6 +86,7 @@ def run_entities_case(
         tracker_count=tracker_count,
         samples=len(latencies),
         summary=summarize(latencies),
+        routing=RoutingCounters.capture(dep.metrics),
     )
 
 

@@ -15,6 +15,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import BenchmarkError
+from repro.bench.routing_smoke import RoutingCounters
 from repro.bench.topology import star_with_trackers
 from repro.tracing.traces import TraceType
 from repro.transport.base import TransportProfile
@@ -27,6 +28,7 @@ class TrackersResult:
     tracker_count: int
     transport: str
     summary: StatSummary
+    routing: RoutingCounters | None = None
 
 
 def run_trackers_case(
@@ -52,6 +54,7 @@ def run_trackers_case(
         tracker_count=tracker_count,
         transport=profile.name,
         summary=summarize(latencies),
+        routing=RoutingCounters.capture(dep.metrics),
     )
 
 

@@ -1,0 +1,149 @@
+"""Deterministic routing smoke scenario for CI regression checks.
+
+Runs the quickstart deployment (three chained brokers, one traced entity,
+one tracker) with a detach phase appended: mid-run the tracker's client is
+detached from its broker, after which the entity keeps publishing traces
+for the rest of the simulation.  With a correct interest lifecycle the
+detach retracts the tracker's interest fabric-wide, so the tail of the run
+must forward nothing toward the now-empty broker.
+
+The routing-relevant counters of the final metrics snapshot form a small
+JSON document that CI compares against the committed seed snapshot
+(``benchmarks/results/routing_seed.json``).  Any increase in
+``broker.msgs.unroutable`` or ``broker.interest.stale_forwards`` — or any
+drift in delivery counts — fails the bench-smoke job.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+#: Counters whose values define the routing contract.  Missing counters
+#: read as zero, so a regression that *introduces* e.g. stale forwards is
+#: caught even though the seed snapshot records a 0 for it.
+ROUTING_COUNTERS = (
+    "broker.msgs.ingress",
+    "broker.msgs.forwarded_out",
+    "broker.msgs.delivered",
+    "broker.msgs.unroutable",
+    "broker.interest.announced",
+    "broker.interest.retracted",
+    "broker.interest.stale_forwards",
+)
+
+#: Per-topic-family delivery counters are collected by prefix; every name
+#: under it must match the seed exactly (unchanged delivery is the
+#: correctness bar for any routing optimization).
+DELIVERED_PREFIX = "broker.delivered."
+
+#: Counters that must never exceed the seed value (waste / bug signals).
+MUST_NOT_REGRESS = (
+    "broker.msgs.unroutable",
+    "broker.interest.stale_forwards",
+)
+
+#: Counters that must match the seed exactly (routing determinism).
+MUST_MATCH = ("broker.msgs.delivered",)
+
+
+@dataclass(frozen=True, slots=True)
+class RoutingCounters:
+    """Fabric-wide routing counters captured at the end of a bench case.
+
+    Benchmarks attach one of these to their result records so a run's
+    report shows *how much* forwarding work produced the measured
+    latencies — the evidence trail for routing optimizations.
+    """
+
+    ingress: int
+    forwarded_out: int
+    delivered: int
+    unroutable: int
+    stale_forwards: int
+
+    @classmethod
+    def capture(cls, registry) -> "RoutingCounters":
+        return cls(
+            ingress=registry.counter_value("broker.msgs.ingress"),
+            forwarded_out=registry.counter_value("broker.msgs.forwarded_out"),
+            delivered=registry.counter_value("broker.msgs.delivered"),
+            unroutable=registry.counter_value("broker.msgs.unroutable"),
+            stale_forwards=registry.counter_value(
+                "broker.interest.stale_forwards"
+            ),
+        )
+
+    def render(self) -> str:
+        return (
+            f"ingress={self.ingress} forwarded_out={self.forwarded_out} "
+            f"delivered={self.delivered} unroutable={self.unroutable} "
+            f"stale_forwards={self.stale_forwards}"
+        )
+
+
+def run_routing_smoke(
+    seed: int = 42,
+    duration_ms: float = 30_000.0,
+    detach_at_ms: float = 20_000.0,
+) -> dict:
+    """Run the scenario and return the routing counters as a snapshot dict."""
+    from repro import build_deployment
+
+    dep = build_deployment(broker_ids=["b1", "b2", "b3"], seed=seed)
+    entity = dep.add_traced_entity("demo-service")
+    tracker = dep.add_tracker("demo-tracker")
+    tracker.connect("b3")
+    entity.start("b1")
+    dep.sim.run(until=3_000)
+    tracker.track("demo-service")
+    dep.sim.run(until=detach_at_ms)
+
+    # Detach phase: the tracker's broker loses its last subscriber for the
+    # entity's trace topics; interest must be retracted fabric-wide and the
+    # remaining publishes must not be forwarded toward b3.
+    dep.network.broker("b3").detach_client("demo-tracker")
+    dep.sim.run(until=duration_ms)
+
+    registry = dep.metrics
+    counters = {name: registry.counter_value(name) for name in ROUTING_COUNTERS}
+    all_counters = registry.snapshot()["counters"]
+    for name in sorted(all_counters):
+        if name.startswith(DELIVERED_PREFIX):
+            counters[name] = all_counters[name]
+    return {
+        "scenario": "quickstart+detach",
+        "seed": seed,
+        "duration_ms": duration_ms,
+        "detach_at_ms": detach_at_ms,
+        "counters": counters,
+        "interest_patterns_gauge": registry.gauge_value("broker.interest.patterns"),
+    }
+
+
+def compare_to_seed(snapshot: dict, seed_snapshot: dict) -> list[str]:
+    """Return human-readable regression findings; empty when clean."""
+    findings: list[str] = []
+    live = snapshot["counters"]
+    seed = seed_snapshot["counters"]
+    for name in MUST_NOT_REGRESS:
+        if live.get(name, 0) > seed.get(name, 0):
+            findings.append(
+                f"{name} regressed: {live.get(name, 0)} > seed {seed.get(name, 0)}"
+            )
+    delivered = {
+        name
+        for name in (*live, *seed)
+        if name.startswith(DELIVERED_PREFIX)
+    }
+    for name in (*MUST_MATCH, *sorted(delivered)):
+        if live.get(name, 0) != seed.get(name, 0):
+            findings.append(
+                f"{name} drifted: {live.get(name, 0)} != seed {seed.get(name, 0)}"
+            )
+    return findings
+
+
+def render_snapshot(snapshot: dict) -> str:
+    """Stable JSON form used for the committed seed file and CI dumps."""
+    return json.dumps(snapshot, indent=2, sort_keys=True) + "\n"

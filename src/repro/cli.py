@@ -73,6 +73,15 @@ def _cmd_metrics(args) -> int:
     """Run the quickstart scenario, then dump the metrics snapshot."""
     from repro import build_deployment
 
+    if args.routing_smoke:
+        from repro.bench.routing_smoke import render_snapshot, run_routing_smoke
+
+        snapshot = run_routing_smoke(
+            seed=args.seed, duration_ms=float(args.duration) * 1000.0
+        )
+        print(render_snapshot(snapshot), end="")
+        return 0
+
     dep = build_deployment(broker_ids=["b1", "b2", "b3"], seed=args.seed)
     entity = dep.add_traced_entity("demo-service")
     tracker = dep.add_tracker("demo-tracker")
@@ -337,6 +346,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="virtual seconds to simulate")
     metrics.add_argument("--json", action="store_true",
                          help="emit the snapshot as JSON")
+    metrics.add_argument("--routing-smoke", action="store_true",
+                         help="run the deterministic routing smoke scenario "
+                              "(quickstart + detach) and emit its routing-"
+                              "counter snapshot as JSON")
 
     analyze = sub.add_parser(
         "analyze", help="run the repro.analysis domain linter (exit 1 on findings)"

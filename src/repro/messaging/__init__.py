@@ -15,6 +15,7 @@ from repro.messaging.constrained import (
     is_constrained,
 )
 from repro.messaging.message import Message
+from repro.messaging.matching import SubscriptionIndex
 from repro.messaging.broker import Broker
 from repro.messaging.client import BrokerClient
 from repro.messaging.broker_network import BrokerNetwork
@@ -30,6 +31,7 @@ __all__ = [
     "Distribution",
     "is_constrained",
     "Message",
+    "SubscriptionIndex",
     "Broker",
     "BrokerClient",
     "BrokerNetwork",

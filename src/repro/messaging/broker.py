@@ -29,6 +29,7 @@ from repro.messaging.constrained import (
     ConstrainedTopic,
     is_constrained,
 )
+from repro.messaging.matching import SubscriptionIndex
 from repro.messaging.message import Message
 from repro.messaging.topics import Topic, topic_matches
 from repro.sim.engine import Event, Simulator
@@ -117,10 +118,10 @@ class Broker:
         self._announce: Callable[[str, str], None] | None = None
         self._retract: Callable[[str, str], None] | None = None
 
-        # subscription state: pattern -> {client_id: True}
-        self._client_subs: dict[str, dict[str, bool]] = defaultdict(dict)
-        self._broker_subs: dict[str, list[LocalHandler]] = defaultdict(list)
-        self._remote_interest: dict[str, set[str]] = defaultdict(set)
+        # subscription state: one segment-trie index holds client
+        # subscriptions, broker-local handlers and remote interest, so
+        # every "who matches this topic" query is O(topic depth)
+        self._subs = SubscriptionIndex(metrics=self.metrics)
 
         # client connections: client_id -> outbound link to that client
         self._client_links: dict[str, Link] = {}
@@ -155,10 +156,10 @@ class Broker:
 
     def detach_client(self, client_id: str) -> None:
         self._client_links.pop(client_id, None)
-        for pattern in list(self._client_subs):
-            self._client_subs[pattern].pop(client_id, None)
-            if not self._client_subs[pattern]:
-                del self._client_subs[pattern]
+        # patterns whose last local subscriber just vanished must be
+        # retracted, or peers keep forwarding matching traffic here forever
+        for pattern in self._subs.remove_client_everywhere(client_id):
+            self._maybe_retract_interest(pattern)
 
     @property
     def client_ids(self) -> list[str]:
@@ -176,7 +177,7 @@ class Broker:
             raise UnauthorizedError(f"{client_id!r} is blacklisted")
         if client_id not in self._client_links:
             raise NotConnectedError(f"{client_id!r} is not connected to {self.broker_id!r}")
-        Topic.parse(pattern, allow_wildcards=True)
+        pattern = Topic.parse(pattern, allow_wildcards=True).canonical
         if is_constrained(pattern):
             constrained = ConstrainedTopic.parse(pattern)
             if not constrained.may_subscribe(client_id, is_broker=False):
@@ -184,17 +185,13 @@ class Broker:
                 raise UnauthorizedError(
                     f"{client_id!r} may not subscribe to constrained topic {pattern!r}"
                 )
-        self._client_subs[pattern][client_id] = True
+        self._subs.add_client(pattern, client_id)
         self.monitor.increment("subscriptions.client")
         self._propagate_interest(pattern, suppressed=False)
 
     def remove_client_subscription(self, client_id: str, pattern: str) -> None:
-        subs = self._client_subs.get(pattern)
-        if subs:
-            subs.pop(client_id, None)
-            if not subs:
-                del self._client_subs[pattern]
-                self._maybe_retract_interest(pattern)
+        if self._subs.remove_client(pattern, client_id):
+            self._maybe_retract_interest(SubscriptionIndex.canonical(pattern))
 
     def subscribe_local(self, pattern: str, handler: LocalHandler) -> None:
         """The broker's own subscription (e.g. to a session topic).
@@ -203,7 +200,7 @@ class Broker:
         subscription from propagating to other brokers — the hosting broker
         alone consumes traffic on such topics (section 3.1).
         """
-        Topic.parse(pattern, allow_wildcards=True)
+        pattern = Topic.parse(pattern, allow_wildcards=True).canonical
         suppressed = False
         if is_constrained(pattern):
             constrained = ConstrainedTopic.parse(pattern)
@@ -212,17 +209,13 @@ class Broker:
                     f"broker {self.broker_id!r} may not subscribe to {pattern!r}"
                 )
             suppressed = constrained.suppressed()
-        self._broker_subs[pattern].append(handler)
+        self._subs.add_handler(pattern, handler)
         self.monitor.increment("subscriptions.broker")
         self._propagate_interest(pattern, suppressed=suppressed)
 
     def unsubscribe_local(self, pattern: str, handler: LocalHandler) -> None:
-        handlers = self._broker_subs.get(pattern)
-        if handlers and handler in handlers:
-            handlers.remove(handler)
-            if not handlers:
-                del self._broker_subs[pattern]
-                self._maybe_retract_interest(pattern)
+        if self._subs.remove_handler(pattern, handler):
+            self._maybe_retract_interest(SubscriptionIndex.canonical(pattern))
 
     def _maybe_retract_interest(self, pattern: str) -> None:
         """Tell the fabric nobody here wants ``pattern`` anymore.
@@ -230,25 +223,27 @@ class Broker:
         Called when the last local subscription (client or broker) for a
         pattern disappears; peers stop forwarding matching traffic to us.
         """
-        if pattern in self._client_subs or pattern in self._broker_subs:
+        if self._subs.has_local(pattern):
             return
         if self._retract is not None:
             self._retract(pattern, self.broker_id)
             self.monitor.increment("control.interest_retractions")
+            self.metrics.counter("broker.interest.retracted").inc()
 
     def _propagate_interest(self, pattern: str, suppressed: bool) -> None:
         if suppressed or self._announce is None:
             return
         self._announce(pattern, self.broker_id)
         self.monitor.increment("control.interest_announcements")
+        self.metrics.counter("broker.interest.announced").inc()
 
     def note_remote_interest(self, pattern: str, broker_id: str) -> None:
         """The fabric records that ``broker_id`` has subscribers for ``pattern``."""
         if broker_id != self.broker_id:
-            self._remote_interest[pattern].add(broker_id)
+            self._subs.add_remote(pattern, broker_id)
 
     def drop_remote_interest(self, pattern: str, broker_id: str) -> None:
-        self._remote_interest.get(pattern, set()).discard(broker_id)
+        self._subs.remove_remote(pattern, broker_id)
 
     # ------------------------------------------------------------------ ingress
 
@@ -334,6 +329,12 @@ class Broker:
                 return
 
         if self.broker_id in frame.destinations:
+            if not self._subs.has_local_match(message.topic.canonical):
+                # a peer forwarded to us on stale interest: nobody here
+                # consumes this topic anymore (the bug class the interest
+                # lifecycle is meant to prevent) — count it loudly
+                self.monitor.increment("messages.forwarded_stale")
+                self.metrics.counter("broker.interest.stale_forwards").inc()
             yield from self._deliver_local(message)
         remaining = tuple(d for d in frame.destinations if d != self.broker_id)
         if remaining:
@@ -360,12 +361,7 @@ class Broker:
             self._forward(message.with_hop(), tuple(sorted(destinations)), exclude_neighbor=None)
 
     def _interested_brokers(self, topic: str) -> set[str]:
-        interested: set[str] = set()
-        for pattern, brokers in self._remote_interest.items():
-            if brokers and topic_matches(pattern, topic):
-                interested |= brokers
-        interested.discard(self.broker_id)
-        return interested
+        return self._subs.match_remote(topic, exclude=self.broker_id)
 
     def _forward(
         self,
@@ -403,20 +399,17 @@ class Broker:
         topic = message.topic.canonical
         fanout = 0
 
-        for pattern, handlers in list(self._broker_subs.items()):
-            if topic_matches(pattern, topic):
-                for handler in list(handlers):
-                    yield from self.machine.compute(self.per_delivery_ms)
-                    handler(message)
-                    self.monitor.increment("messages.delivered_broker_local")
-                    fanout += 1
+        for _pattern, handlers in self._subs.match_handlers(topic):
+            for handler in handlers:
+                yield from self.machine.compute(self.per_delivery_ms)
+                handler(message)
+                self.monitor.increment("messages.delivered_broker_local")
+                fanout += 1
 
-        for pattern, subscribers in list(self._client_subs.items()):
-            if not topic_matches(pattern, topic):
-                continue
+        for _pattern, subscribers in self._subs.match_clients(topic):
             # delivery order is arbitrary in a real broker (hash order);
             # shuffling avoids privileging any subscriber in the fan-out
-            ordered = sorted(subscribers)
+            ordered = subscribers
             self.machine.rng.shuffle(ordered)
             for client_id in ordered:
                 if client_id == exclude_client:
@@ -468,20 +461,16 @@ class Broker:
 
     def local_subscriber_count(self, topic: str) -> int:
         """How many local client subscriptions match ``topic``."""
-        count = 0
-        for pattern, subscribers in self._client_subs.items():
-            if topic_matches(pattern, topic):
-                count += len(subscribers)
-        return count
+        return self._subs.client_count(topic)
 
     def has_any_subscriber(self, topic: str) -> bool:
         """Anyone (local client, broker handler, or remote broker) interested?"""
-        if self.local_subscriber_count(topic) > 0:
-            return True
-        for pattern in self._broker_subs:
-            if topic_matches(pattern, topic):
-                return True
-        return bool(self._interested_brokers(topic))
+        return self._subs.has_any_match(topic, exclude_remote=self.broker_id)
+
+    @property
+    def subscription_index(self) -> SubscriptionIndex:
+        """The broker's interest index (read-mostly; tests and tools)."""
+        return self._subs
 
     def __repr__(self) -> str:
         return f"<Broker {self.broker_id}>"

@@ -54,6 +54,10 @@ class BrokerNetwork:
         self._brokers: dict[str, Broker] = {}
         self._adjacency: dict[str, set[str]] = {}
         self._clients: dict[str, BrokerClient] = {}
+        # fabric view of announced interest: pattern -> interested brokers.
+        # Kept so brokers that join after a subscription was flooded still
+        # learn it (replayed in add_broker), and pruned on retraction.
+        self._interest: dict[str, set[str]] = {}
 
     # ---------------------------------------------------------------- machines
 
@@ -115,6 +119,11 @@ class BrokerNetwork:
         broker.set_interest_announcer(self._announce_interest, self._retract_interest)
         self._brokers[broker_id] = broker
         self._adjacency[broker_id] = set()
+        # replay interest flooded before this broker existed, so a late
+        # joiner routes toward established subscribers like everyone else
+        for pattern in sorted(self._interest):
+            for owner in sorted(self._interest[pattern]):
+                broker.note_remote_interest(pattern, owner)
         self._recompute_routes()
         return broker
 
@@ -253,12 +262,18 @@ class BrokerNetwork:
 
     def _announce_interest(self, pattern: str, broker_id: str) -> None:
         """Flood subscription interest to every broker (control plane)."""
+        self._interest.setdefault(pattern, set()).add(broker_id)
         for other in self._brokers.values():
             other.note_remote_interest(pattern, broker_id)
         self.monitor.increment("control.floods")
 
     def _retract_interest(self, pattern: str, broker_id: str) -> None:
         """Flood an interest retraction (last subscriber gone)."""
+        owners = self._interest.get(pattern)
+        if owners is not None:
+            owners.discard(broker_id)
+            if not owners:
+                del self._interest[pattern]
         for other in self._brokers.values():
             other.drop_remote_interest(pattern, broker_id)
         self.monitor.increment("control.retractions")

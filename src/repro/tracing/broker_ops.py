@@ -752,6 +752,15 @@ class TraceManager:
             if not session.interest.interested_in(category, now):
                 self.monitor.increment("trace.suppressed_no_interest")
                 return
+            # a tracker can unsubscribe (or its broker can detach it) while
+            # its gauged interest is still inside the TTL window; the
+            # indexed matcher makes "anyone subscribed at all?" an
+            # O(topic-depth) check, so skip the signing cost for traces
+            # no subscriber anywhere would receive
+            topic = session.topics.topic_for_trace(trace_type)
+            if not self.broker.has_any_subscriber(topic.canonical):
+                self.monitor.increment("trace.suppressed_no_subscriber")
+                return
 
         body = {
             "trace_type": trace_type.value,

@@ -116,16 +116,21 @@ class PingHistory:
         """Mark the matching ping answered; returns False for unmatched.
 
         Also tracks out-of-order arrivals: a response whose number is below
-        the highest number already answered arrived out of order.
+        the highest number already answered arrived out of order.  Only
+        responses that match a recorded, still-unanswered ping enter the
+        statistics — unmatched or duplicate responses would otherwise
+        inflate the denominator of ``out_of_order_rate()`` (and a
+        duplicate must not advance the highest-answered watermark), which
+        skewed the NETWORK_METRICS traces of section 3.3.
         """
-        self._responses += 1
-        if response.number < self._highest_response_number:
-            self._out_of_order += 1
-        else:
-            self._highest_response_number = response.number
         for record in self._records:
             if record.number == response.number and not record.answered:
                 record.response_ms = received_ms
+                self._responses += 1
+                if response.number < self._highest_response_number:
+                    self._out_of_order += 1
+                else:
+                    self._highest_response_number = response.number
                 if self.metrics is not None and record.rtt_ms is not None:
                     self.metrics.histogram("tracker.ping.rtt_ms").observe(
                         record.rtt_ms

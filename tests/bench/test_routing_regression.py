@@ -1,0 +1,85 @@
+"""Routing regression gate: live counters vs the committed seed snapshot.
+
+``benchmarks/results/routing_seed.json`` records the routing counters of
+the deterministic smoke scenario (quickstart + tracker detach).  Any code
+change that makes routing wasteful (unroutable messages, forwards on
+stale interest) or alters what gets delivered fails here.  To re-seed
+after an *intentional* routing change::
+
+    PYTHONPATH=src python -c "
+    from repro.bench.routing_smoke import run_routing_smoke, render_snapshot
+    open('benchmarks/results/routing_seed.json', 'w').write(
+        render_snapshot(run_routing_smoke()))"
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench.routing_smoke import (
+    compare_to_seed,
+    render_snapshot,
+    run_routing_smoke,
+)
+
+SEED_FILE = (
+    Path(__file__).resolve().parents[2] / "benchmarks" / "results"
+    / "routing_seed.json"
+)
+
+
+@pytest.fixture(scope="module")
+def live_snapshot():
+    return run_routing_smoke()
+
+
+@pytest.fixture(scope="module")
+def seed_snapshot():
+    return json.loads(SEED_FILE.read_text())
+
+
+class TestAgainstCommittedSeed:
+    def test_no_regressions(self, live_snapshot, seed_snapshot):
+        findings = compare_to_seed(live_snapshot, seed_snapshot)
+        assert not findings, "\n".join(findings)
+
+    def test_snapshot_is_reproducible_exactly(self, live_snapshot, seed_snapshot):
+        """Stronger than the gate: the whole snapshot is deterministic.
+
+        If this fails after an intentional routing change, regenerate the
+        seed file (see module docstring) and review the diff in the PR.
+        """
+        assert render_snapshot(live_snapshot) == render_snapshot(seed_snapshot)
+
+    def test_scenario_sanity(self, live_snapshot):
+        counters = live_snapshot["counters"]
+        # the tracker really subscribed and later really detached
+        assert counters["broker.interest.announced"] > 0
+        assert counters["broker.interest.retracted"] > 0
+        # a clean lifecycle leaves no waste
+        assert counters["broker.msgs.unroutable"] == 0
+        assert counters["broker.interest.stale_forwards"] == 0
+
+
+class TestCompareToSeed:
+    def test_flags_waste_counter_increase(self, seed_snapshot):
+        bad = json.loads(render_snapshot(seed_snapshot))
+        bad["counters"]["broker.interest.stale_forwards"] += 1
+        findings = compare_to_seed(bad, seed_snapshot)
+        assert any("stale_forwards" in f for f in findings)
+
+    def test_flags_delivery_drift_either_direction(self, seed_snapshot):
+        for delta in (-1, 1):
+            bad = json.loads(render_snapshot(seed_snapshot))
+            bad["counters"]["broker.msgs.delivered"] += delta
+            assert compare_to_seed(bad, seed_snapshot)
+
+    def test_flags_new_delivered_family_member(self, seed_snapshot):
+        bad = json.loads(render_snapshot(seed_snapshot))
+        bad["counters"]["broker.delivered.phantom"] = 3
+        findings = compare_to_seed(bad, seed_snapshot)
+        assert any("phantom" in f for f in findings)
+
+    def test_clean_on_identical_snapshots(self, seed_snapshot):
+        assert compare_to_seed(seed_snapshot, seed_snapshot) == []

@@ -1,0 +1,216 @@
+"""Tests for the segment-trie SubscriptionIndex (messaging/matching.py)."""
+
+import random
+
+import pytest
+
+from repro.errors import TopicError
+from repro.messaging.matching import (
+    SubscriptionIndex,
+    linear_match_patterns,
+)
+
+
+def index_with_clients(patterns):
+    index = SubscriptionIndex()
+    for i, pattern in enumerate(patterns):
+        index.add_client(pattern, f"c{i}")
+    return index
+
+
+class TestBasicMatching:
+    def test_exact_match(self):
+        index = index_with_clients(["a/b/c"])
+        assert index.match_patterns("a/b/c") == ["a/b/c"]
+        assert index.match_patterns("a/b") == []
+        assert index.match_patterns("a/b/c/d") == []
+
+    def test_star_matches_exactly_one_segment(self):
+        index = index_with_clients(["a/*/c"])
+        assert index.match_patterns("a/b/c") == ["a/*/c"]
+        assert index.match_patterns("a/x/c") == ["a/*/c"]
+        assert index.match_patterns("a/c") == []
+        assert index.match_patterns("a/b/b/c") == []
+
+    def test_trailing_many_matches_one_or_more(self):
+        index = index_with_clients(["a/>"])
+        assert index.match_patterns("a/b") == ["a/>"]
+        assert index.match_patterns("a/b/c/d") == ["a/>"]
+        assert index.match_patterns("a") == []
+        assert index.match_patterns("b/c") == []
+
+    def test_bare_many_matches_everything(self):
+        index = index_with_clients([">"])
+        assert index.match_patterns("a") == [">"]
+        assert index.match_patterns("a/b/c") == [">"]
+
+    def test_overlapping_patterns_all_reported_sorted(self):
+        index = index_with_clients(["a/b", "a/*", "a/>", "*/b"])
+        assert index.match_patterns("a/b") == ["*/b", "a/*", "a/>", "a/b"]
+
+    def test_leading_slash_canonicalized(self):
+        index = SubscriptionIndex()
+        index.add_client("/a/b", "c1")
+        index.add_client("a/b", "c2")
+        assert index.patterns() == ["a/b"]
+        assert index.clients_for("/a/b") == ["c1", "c2"]
+
+    def test_invalid_pattern_rejected(self):
+        index = SubscriptionIndex()
+        with pytest.raises(TopicError):
+            index.add_client("a/>/b", "c1")
+        with pytest.raises(TopicError):
+            index.add_client("", "c1")
+
+
+class TestLifecycle:
+    def test_remove_client_prunes_entry_and_nodes(self):
+        index = SubscriptionIndex()
+        index.add_client("a/b/c", "c1")
+        assert index.node_count() == 3
+        assert index.remove_client("a/b/c", "c1")
+        assert index.pattern_count == 0
+        assert index.node_count() == 0
+        assert index.match_patterns("a/b/c") == []
+
+    def test_remove_client_keeps_shared_prefix(self):
+        index = SubscriptionIndex()
+        index.add_client("a/b/c", "c1")
+        index.add_client("a/b/d", "c2")
+        index.remove_client("a/b/c", "c1")
+        assert index.patterns() == ["a/b/d"]
+        assert index.node_count() == 3  # a, a/b, a/b/d
+
+    def test_remove_unknown_is_false(self):
+        index = SubscriptionIndex()
+        assert not index.remove_client("a/b", "nobody")
+        index.add_client("a/b", "c1")
+        assert not index.remove_client("a/b", "other")
+        assert index.pattern_count == 1
+
+    def test_remove_client_everywhere_reports_orphaned_patterns(self):
+        index = SubscriptionIndex()
+        index.add_client("solo/topic", "c1")
+        index.add_client("shared/topic", "c1")
+        index.add_client("shared/topic", "c2")
+        index.add_client("handled/topic", "c1")
+        index.add_handler("handled/topic", lambda m: None)
+        orphaned = index.remove_client_everywhere("c1")
+        # only the pattern where c1 was the last local subscriber
+        assert orphaned == ["solo/topic"]
+        assert index.patterns() == ["handled/topic", "shared/topic"]
+
+    def test_remote_retraction_prunes_empty_entries(self):
+        index = SubscriptionIndex()
+        index.add_remote("remote/topic", "b2")
+        assert "remote/topic" in index
+        assert index.remove_remote("remote/topic", "b2")
+        assert "remote/topic" not in index
+        assert index.node_count() == 0
+
+    def test_handler_removal_prunes(self):
+        index = SubscriptionIndex()
+        handler = lambda m: None
+        index.add_handler("x/y", handler)
+        assert index.has_local("x/y")
+        assert index.remove_handler("x/y", handler)
+        assert not index.has_local("x/y")
+        assert index.pattern_count == 0
+
+    def test_patterns_gauge_tracks_live_entries(self):
+        from repro.obs import MetricsRegistry
+
+        registry = MetricsRegistry()
+        index = SubscriptionIndex(metrics=registry)
+        index.add_client("a/b", "c1")
+        index.add_remote("a/c", "b2")
+        assert registry.gauge_value("broker.interest.patterns") == 2
+        index.remove_client("a/b", "c1")
+        index.remove_remote("a/c", "b2")
+        assert registry.gauge_value("broker.interest.patterns") == 0
+
+
+class TestQueries:
+    def test_client_count_sums_matching_patterns(self):
+        index = SubscriptionIndex()
+        index.add_client("m/>", "c1")
+        index.add_client("m/cpu", "c2")
+        index.add_client("m/cpu", "c3")
+        index.add_client("other/x", "c4")
+        assert index.client_count("m/cpu") == 3
+
+    def test_match_remote_excludes_self(self):
+        index = SubscriptionIndex()
+        index.add_remote("t/x", "b1")
+        index.add_remote("t/*", "b2")
+        assert index.match_remote("t/x") == {"b1", "b2"}
+        assert index.match_remote("t/x", exclude="b1") == {"b2"}
+
+    def test_has_any_match_modes(self):
+        index = SubscriptionIndex()
+        assert not index.has_any_match("a/b")
+        index.add_remote("a/b", "b9")
+        assert index.has_any_match("a/b")
+        assert not index.has_any_match("a/b", exclude_remote="b9")
+        assert not index.has_local_match("a/b")
+        index.add_client("a/*", "c1")
+        assert index.has_local_match("a/b")
+
+
+SEGMENTS = ["alpha", "beta", "gamma", "delta", "x"]
+
+
+def random_pattern(rng: random.Random) -> str:
+    depth = rng.randint(1, 4)
+    parts = [rng.choice(SEGMENTS) for _ in range(depth)]
+    for i in range(depth - 1):
+        if rng.random() < 0.25:
+            parts[i] = "*"
+    roll = rng.random()
+    if roll < 0.2:
+        parts[-1] = ">"
+        if depth == 1:
+            parts = [rng.choice(SEGMENTS), ">"]
+    elif roll < 0.4:
+        parts[-1] = "*"
+    return "/".join(parts)
+
+
+def random_topic(rng: random.Random) -> str:
+    depth = rng.randint(1, 5)
+    return "/".join(rng.choice(SEGMENTS) for _ in range(depth))
+
+
+class TestEquivalenceWithLinearScan:
+    """The trie must answer exactly like the old per-pattern linear scan."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_randomized_corpus(self, seed):
+        rng = random.Random(seed)
+        patterns = {random_pattern(rng) for _ in range(rng.randint(5, 60))}
+        index = index_with_clients(sorted(patterns))
+        for _ in range(200):
+            topic = random_topic(rng)
+            assert index.match_patterns(topic) == linear_match_patterns(
+                patterns, topic
+            ), f"divergence on topic {topic!r} with patterns {sorted(patterns)}"
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_equivalence_survives_random_removals(self, seed):
+        rng = random.Random(1000 + seed)
+        patterns = sorted({random_pattern(rng) for _ in range(40)})
+        index = SubscriptionIndex()
+        for i, pattern in enumerate(patterns):
+            index.add_client(pattern, f"c{i}")
+        alive = dict(enumerate(patterns))
+        while alive:
+            victims = rng.sample(sorted(alive), k=min(5, len(alive)))
+            for i in victims:
+                assert index.remove_client(alive[i], f"c{i}")
+                del alive[i]
+            for _ in range(50):
+                topic = random_topic(rng)
+                assert index.match_patterns(topic) == linear_match_patterns(
+                    alive.values(), topic
+                )
+        assert index.node_count() == 0

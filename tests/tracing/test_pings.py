@@ -72,6 +72,38 @@ class TestResponses:
         respond(history, 1, 101.0, 112.0)  # arrives after #2: out of order
         assert history.out_of_order_rate() == pytest.approx(1 / 3)
 
+    def test_unmatched_response_does_not_skew_rates(self):
+        """A response for a ping never sent must not enter the stats."""
+        history = PingHistory()
+        history.record_ping(Ping(0, 100.0))
+        respond(history, 0, 100.0, 105.0)
+        for _ in range(5):
+            assert not respond(history, 99, 100.0, 106.0)
+        # denominator is still the single matched response
+        assert history.out_of_order_rate() == 0.0
+
+    def test_unmatched_high_number_does_not_advance_watermark(self):
+        """A forged/unmatched high number must not mark later real
+        responses out of order."""
+        history = PingHistory()
+        history.record_ping(Ping(0, 100.0))
+        respond(history, 50, 999.0, 105.0)  # unmatched: never recorded
+        history.record_ping(Ping(1, 200.0))
+        assert respond(history, 0, 100.0, 210.0)
+        assert respond(history, 1, 200.0, 211.0)
+        assert history.out_of_order_rate() == 0.0
+
+    def test_duplicate_response_does_not_skew_rates(self):
+        history = PingHistory()
+        history.record_ping(Ping(0, 100.0))
+        history.record_ping(Ping(1, 200.0))
+        respond(history, 1, 200.0, 205.0)
+        for _ in range(4):
+            assert not respond(history, 1, 200.0, 206.0)  # duplicates
+        respond(history, 0, 100.0, 210.0)  # genuinely out of order
+        # 2 matched responses, 1 out of order; duplicates counted nowhere
+        assert history.out_of_order_rate() == pytest.approx(0.5)
+
 
 class TestMisses:
     def test_consecutive_misses_counts_trailing_unanswered(self):
