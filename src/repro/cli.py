@@ -21,6 +21,9 @@ Commands
     Run the repro.analysis domain linter over source trees (exit 1 on
     findings; ``--format json`` for the stable machine-readable report,
     ``--stats`` for per-rule counts via the metrics registry).
+``faults``
+    Run one chaos scenario from the repro.faults catalog and print its
+    fault/recovery summary (``--json`` for the CI seed-snapshot form).
 """
 
 from __future__ import annotations
@@ -132,6 +135,40 @@ def _cmd_analyze(args) -> int:
         print()
         print(registry.render_text())
     return 1 if findings else 0
+
+
+def _cmd_faults(args) -> int:
+    """Run one chaos scenario and print (or dump as JSON) its snapshot."""
+    from repro.faults import render_snapshot, run_scenario
+
+    duration_ms = None if args.duration is None else float(args.duration) * 1000.0
+    snapshot = run_scenario(args.scenario, seed=args.seed, duration_ms=duration_ms)
+    if args.json:
+        print(render_snapshot(snapshot), end="")
+        return 0
+
+    counters = snapshot["counters"]
+    print(f"chaos scenario: {snapshot['scenario']} "
+          f"(seed {snapshot['seed']}, {snapshot['duration_ms']/1000:.0f}s virtual)")
+    injected = {
+        name.rsplit(".", 1)[-1]: count
+        for name, count in counters.items()
+        if name.startswith("faults.injected.") and count
+    }
+    print(f"faults injected: {injected or 'none'}")
+    print(f"traces delivered: {counters['broker.msgs.delivered']} "
+          f"(unroutable {counters['broker.msgs.unroutable']})")
+    recovery = snapshot["recovery"]
+    if recovery["count"]:
+        print(f"recoveries: {recovery['count']} "
+              f"(mean {recovery['mean_ms']:.0f} ms, max {recovery['max_ms']:.0f} ms "
+              "detection -> re-registration)")
+    else:
+        print("recoveries: none measured")
+    pending = counters["trace.recovery.detected"] - counters["trace.recovery.completed"]
+    if pending:
+        print(f"unrecovered entities at end of run: {pending}")
+    return 0
 
 
 def _cmd_bench(args) -> int:
@@ -365,6 +402,23 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also print per-rule counts as analysis.findings.* "
                               "metrics-registry counters")
 
+    faults = sub.add_parser(
+        "faults", help="run a deterministic chaos scenario (repro.faults)"
+    )
+    faults.add_argument(
+        "--scenario",
+        required=True,
+        choices=["broker-crash", "link-partition", "packet-loss",
+                 "delay-spike", "entity-churn"],
+        help="scenario from the docs/FAULTS.md catalog",
+    )
+    faults.add_argument("--seed", type=int, default=42)
+    faults.add_argument("--duration", type=float, default=None,
+                        help="virtual seconds to simulate "
+                             "(default: the scenario's own horizon)")
+    faults.add_argument("--json", action="store_true",
+                        help="emit the seed-snapshot JSON form used by CI")
+
     return parser
 
 
@@ -377,6 +431,7 @@ def main(argv: list[str] | None = None) -> int:
         "demo": _cmd_demo,
         "metrics": _cmd_metrics,
         "analyze": _cmd_analyze,
+        "faults": _cmd_faults,
     }
     return handlers[args.command](args)
 

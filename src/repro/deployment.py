@@ -112,6 +112,19 @@ class Deployment:
     def manager_of(self, broker_id: str) -> TraceManager:
         return self.managers[broker_id]
 
+    def restart_broker(self, broker_id: str, neighbors: Iterable[str] = ()) -> None:
+        """Bring a failed broker back and reset its tracing incarnation.
+
+        Restores the fabric adjacency (``BrokerNetwork.recover_broker``)
+        and clears the broker's per-session ping windows
+        (``TraceManager.handle_broker_restart``) so pre-crash state cannot
+        poison post-restart failure detection.
+        """
+        self.network.recover_broker(broker_id, neighbors)
+        manager = self.managers.get(broker_id)
+        if manager is not None:
+            manager.handle_broker_restart()
+
     # ---------------------------------------------------------- observability
 
     @property

@@ -1,0 +1,199 @@
+"""The fault controller: a sim process that executes a FaultPlan.
+
+The controller walks the plan's timeline inside the simulation, applying
+each fault at its virtual injection time and reverting it when its window
+closes.  Every transition is journaled through ``repro.obs`` and counted
+(``faults.injected.<kind>``, ``faults.active``), and a shared
+:class:`~repro.tracing.registration.RecoveryProbe` is installed on every
+broker's TraceManager so detection → re-registration latency lands in the
+``trace.recovery_ms`` histogram.
+
+Determinism: all controller randomness comes from two dedicated
+``RandomStreams`` children of the deployment seed — ``faults`` for the
+controller itself and ``faults.links`` for loss/delay windows — so adding
+chaos never perturbs the draws the healthy fabric makes (see
+``sim/random.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.deployment import Deployment
+from repro.errors import ConfigurationError, SimulationError
+from repro.sim.engine import Event
+from repro.tracing.registration import RecoveryProbe
+from repro.transport.disruption import LinkDisruption
+
+from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
+
+
+class FaultController:
+    """Applies and reverts the faults of one plan against one deployment."""
+
+    def __init__(self, deployment: Deployment, plan: FaultPlan) -> None:
+        self.deployment = deployment
+        self.plan = plan
+        self.sim = deployment.sim
+        self.network = deployment.network
+        self.metrics = deployment.metrics
+        self.journal = deployment.journal
+        self.rng = self.network.streams.stream("faults")
+        self._links_rng = self.network.streams.stream("faults.links")
+        self._started = False
+        # apply-time state needed to revert: index by position in the
+        # timeline so two faults on the same target don't collide
+        self._saved_neighbors: dict[int, tuple[str, ...]] = {}
+        self._saved_disruptions: dict[int, list] = {}
+
+        self.probe = RecoveryProbe(metrics=self.metrics, journal=self.journal)
+        for manager in deployment.managers.values():
+            manager.recovery_probe = self.probe
+
+    # ---------------------------------------------------------------- lifecycle
+
+    def start(self):
+        """Spawn the controller process; call before ``sim.run``."""
+        if self._started:
+            raise SimulationError("fault controller already started")
+        self._started = True
+        return self.sim.process(self._run(), name=f"faults.{self.plan.name}")
+
+    def _run(self) -> Generator[Event, None, None]:
+        for index, event in enumerate(self.plan.timeline()):
+            if event.at_ms > self.sim.now:
+                yield self.sim.timeout(event.at_ms - self.sim.now)
+            self._apply(index, event)
+            revert_at = event.revert_at_ms
+            if revert_at is not None:
+                self.sim.call_at(
+                    revert_at, lambda i=index, e=event: self._revert(i, e)
+                )
+
+    # ------------------------------------------------------------------- apply
+
+    def _apply(self, index: int, event: FaultEvent) -> None:
+        now = self.sim.now
+        if event.kind is FaultKind.BROKER_CRASH:
+            self._apply_broker_crash(index, event)
+        elif event.kind is FaultKind.LINK_PARTITION:
+            self.network.partition_link(event.target, event.peer)
+        elif event.kind in (FaultKind.PACKET_LOSS, FaultKind.DELAY_SPIKE):
+            self._apply_link_window(index, event)
+        elif event.kind is FaultKind.ENTITY_CRASH:
+            self._entity(event.target).crash()
+        else:  # pragma: no cover - enum is closed
+            raise ConfigurationError(f"unknown fault kind {event.kind!r}")
+
+        self.metrics.counter(f"faults.injected.{event.kind.value}").inc()
+        self.metrics.gauge("faults.active").inc()
+        self.journal.record(
+            now,
+            "fault.injected",
+            fault=event.kind.value,
+            target=event.target,
+            peer=event.peer,
+            duration_ms=event.duration_ms,
+        )
+
+    def _apply_broker_crash(self, index: int, event: FaultEvent) -> None:
+        self._saved_neighbors[index] = self.network.neighbors_of(event.target)
+        self.network.fail_broker(event.target)
+        if event.failover_to is not None:
+            self.sim.call_at(
+                self.sim.now + event.detect_after_ms,
+                lambda e=event: self._failover(e),
+            )
+
+    def _failover(self, event: FaultEvent) -> None:
+        """Migrate the dead broker's traced entities to the failover broker.
+
+        Models the entities (or their supervisors) noticing the silent
+        broker after ``detect_after_ms`` and re-discovering connectivity
+        via Ref [3].  Opens the recovery window for each migrated entity.
+        """
+        manager = self.deployment.managers.get(event.target)
+        now = self.sim.now
+        for entity_id in sorted(self.deployment.entities):
+            entity = self.deployment.entities[entity_id]
+            client = entity.client
+            if client is None or not client.connected:
+                continue
+            if client.broker.broker_id != event.target:
+                continue
+            self.probe.mark_detected(entity_id, now, cause="broker_crash")
+            if manager is not None:
+                # the dead broker's session is over; without this its ping
+                # loop would declare the migrated entity FAILED post-restart
+                manager.handle_client_disconnect(entity_id)
+            self.sim.process(
+                entity.migrate(event.failover_to),
+                name=f"faults.failover.{entity_id}",
+            )
+            self.journal.record(
+                now,
+                "fault.failover",
+                entity=entity_id,
+                from_broker=event.target,
+                to_broker=event.failover_to,
+            )
+
+    def _apply_link_window(self, index: int, event: FaultEvent) -> None:
+        loss = event.loss_probability if event.kind is FaultKind.PACKET_LOSS else 0.0
+        delay = event.extra_delay_ms if event.kind is FaultKind.DELAY_SPIKE else 0.0
+        saved = []
+        for link in self.network.links_of(event.target):
+            saved.append((link, link.disruption))
+            link.disruption = LinkDisruption(
+                rng=self._links_rng,
+                loss_probability=loss,
+                extra_delay_ms=delay,
+            )
+        self._saved_disruptions[index] = saved
+
+    # ------------------------------------------------------------------ revert
+
+    def _revert(self, index: int, event: FaultEvent) -> None:
+        now = self.sim.now
+        extra: dict = {}
+        if event.kind is FaultKind.BROKER_CRASH:
+            neighbors = self._saved_neighbors.pop(index, ())
+            self.deployment.restart_broker(event.target, neighbors)
+        elif event.kind is FaultKind.LINK_PARTITION:
+            self.network.heal_link(event.target, event.peer)
+        elif event.kind in (FaultKind.PACKET_LOSS, FaultKind.DELAY_SPIKE):
+            drops = delayed = 0
+            for link, previous in self._saved_disruptions.pop(index, ()):
+                if link.disruption is not None:
+                    drops += link.disruption.drops
+                    delayed += link.disruption.delayed
+                link.disruption = previous
+            extra = {"drops": drops, "delayed": delayed}
+        elif event.kind is FaultKind.ENTITY_CRASH:
+            entity = self._entity(event.target)
+            entity.recover_from_crash()
+            # a crashed-and-back entity re-registers (section 3.2); the
+            # fresh session supersedes the one the detector condemned
+            self.sim.process(
+                entity.reregister(), name=f"faults.reregister.{event.target}"
+            )
+
+        self.metrics.gauge("faults.active").dec()
+        self.journal.record(
+            now,
+            "fault.reverted",
+            fault=event.kind.value,
+            target=event.target,
+            peer=event.peer,
+            **extra,
+        )
+
+    # ------------------------------------------------------------------- misc
+
+    def _entity(self, entity_id: str):
+        try:
+            return self.deployment.entities[entity_id]
+        except KeyError:
+            raise ConfigurationError(
+                f"fault plan targets unknown entity {entity_id!r}"
+            ) from None

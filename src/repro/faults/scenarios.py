@@ -1,0 +1,265 @@
+"""The chaos scenario catalog (docs/FAULTS.md) and its CI seed gating.
+
+Each scenario is a deterministic deployment-plus-:class:`FaultPlan` pair
+run from a single seed: three brokers in a ring (the paper's Figure 1
+chain closed with a b1–b3 link so one edge can die without severing the
+fabric), one traced entity on ``b1``, one tracker on ``b3``, and a fast
+ping policy so detection happens inside a short run.
+
+``run_scenario`` returns a small JSON snapshot of fault and recovery
+counters; CI runs the ``broker-crash`` scenario and compares the output
+against ``benchmarks/results/chaos_seed.json`` exactly (the same gating
+pattern as ``bench/routing_smoke.py``).
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.errors import ConfigurationError
+from repro.messaging.message import reset_message_ids
+from repro.tracing.failure import AdaptivePingPolicy
+
+from repro.faults.controller import FaultController
+from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
+
+#: Fast detection so scenarios resolve within a ~90 s virtual run while
+#: keeping the paper's 3-miss / 6-miss thresholds.
+CHAOS_PING_POLICY = AdaptivePingPolicy(
+    base_interval_ms=500.0,
+    min_interval_ms=125.0,
+    max_interval_ms=1_000.0,
+    response_deadline_ms=200.0,
+)
+
+#: Counters the seed snapshot pins exactly (all deterministic per seed).
+CHAOS_COUNTERS = (
+    "broker.msgs.delivered",
+    "broker.msgs.unroutable",
+    "broker.interest.stale_forwards",
+    "faults.injected.broker_crash",
+    "faults.injected.link_partition",
+    "faults.injected.packet_loss",
+    "faults.injected.delay_spike",
+    "faults.injected.entity_crash",
+    "trace.recovery.detected",
+    "trace.recovery.completed",
+    "tracker.pings.sent",
+    "tracker.traces.received",
+)
+
+ENTITY_ID = "svc"
+TRACKER_ID = "w"
+ENTITY_BROKER = "b1"
+TRACKER_BROKER = "b3"
+
+
+def _broker_crash_plan() -> FaultPlan:
+    return FaultPlan(
+        name="broker-crash",
+        events=(
+            FaultEvent(
+                kind=FaultKind.BROKER_CRASH,
+                at_ms=20_000.0,
+                target="b1",
+                duration_ms=30_000.0,
+                failover_to="b2",
+                detect_after_ms=2_000.0,
+            ),
+        ),
+    )
+
+
+def _link_partition_plan() -> FaultPlan:
+    return FaultPlan(
+        name="link-partition",
+        events=(
+            FaultEvent(
+                kind=FaultKind.LINK_PARTITION,
+                at_ms=20_000.0,
+                target="b1",
+                peer="b3",
+                duration_ms=20_000.0,
+            ),
+        ),
+    )
+
+
+def _packet_loss_plan() -> FaultPlan:
+    return FaultPlan(
+        name="packet-loss",
+        events=(
+            FaultEvent(
+                kind=FaultKind.PACKET_LOSS,
+                at_ms=20_000.0,
+                target="b1",
+                duration_ms=20_000.0,
+                loss_probability=0.3,
+            ),
+        ),
+    )
+
+
+def _delay_spike_plan() -> FaultPlan:
+    return FaultPlan(
+        name="delay-spike",
+        events=(
+            FaultEvent(
+                kind=FaultKind.DELAY_SPIKE,
+                at_ms=20_000.0,
+                target="b1",
+                duration_ms=20_000.0,
+                extra_delay_ms=250.0,
+            ),
+        ),
+    )
+
+
+def _entity_churn_plan() -> FaultPlan:
+    return FaultPlan(
+        name="entity-churn",
+        events=(
+            FaultEvent(
+                kind=FaultKind.ENTITY_CRASH,
+                at_ms=15_000.0,
+                target=ENTITY_ID,
+                duration_ms=10_000.0,
+            ),
+            FaultEvent(
+                kind=FaultKind.ENTITY_CRASH,
+                at_ms=45_000.0,
+                target=ENTITY_ID,
+                duration_ms=10_000.0,
+            ),
+        ),
+    )
+
+
+#: name -> (plan builder, default run duration in virtual ms)
+SCENARIOS: dict = {
+    "broker-crash": (_broker_crash_plan, 90_000.0),
+    "link-partition": (_link_partition_plan, 60_000.0),
+    "packet-loss": (_packet_loss_plan, 60_000.0),
+    "delay-spike": (_delay_spike_plan, 60_000.0),
+    "entity-churn": (_entity_churn_plan, 90_000.0),
+}
+
+
+def scenario_plan(name: str) -> FaultPlan:
+    """The FaultPlan a named scenario runs (for inspection / docs)."""
+    try:
+        builder, _ = SCENARIOS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown chaos scenario {name!r}; known: {', '.join(sorted(SCENARIOS))}"
+        ) from None
+    return builder()
+
+
+def build_chaos_deployment(seed: int = 42):
+    """The shared three-broker-ring deployment every scenario runs on."""
+    from repro import build_deployment
+
+    dep = build_deployment(
+        broker_ids=["b1", "b2", "b3"],
+        seed=seed,
+        ping_policy=CHAOS_PING_POLICY,
+        extra_links=[("b1", "b3")],
+    )
+    return dep
+
+
+def run_scenario(
+    name: str, seed: int = 42, duration_ms: float | None = None
+) -> dict:
+    """Run one scenario end to end and return its snapshot dict."""
+    plan = scenario_plan(name)
+    if duration_ms is None:
+        duration_ms = SCENARIOS[name][1]
+
+    # Message ids ride on the wire (their digit width changes payload sizes
+    # and hence sampled latencies), so the bit-identical-replay promise needs
+    # the process-global counter rewound before every run.
+    reset_message_ids()
+    dep = build_chaos_deployment(seed)
+    entity = dep.add_traced_entity(ENTITY_ID)
+    tracker = dep.add_tracker(TRACKER_ID)
+    tracker.interest_refresh_ms = 0.0
+    tracker.connect(TRACKER_BROKER)
+    entity.start(ENTITY_BROKER)
+
+    controller = FaultController(dep, plan)
+    controller.start()
+
+    dep.sim.run(until=3_000)
+    tracker.track(ENTITY_ID)
+    dep.sim.run(until=duration_ms)
+
+    registry = dep.metrics
+    counters = {name_: registry.counter_value(name_) for name_ in CHAOS_COUNTERS}
+    recovery = registry.snapshot()["histograms"].get(
+        "trace.recovery_ms", {"count": 0}
+    )
+    recovery_block = {"count": recovery.get("count", 0)}
+    if recovery_block["count"]:
+        recovery_block.update(
+            mean_ms=recovery["mean"],
+            min_ms=recovery["min"],
+            max_ms=recovery["max"],
+        )
+    return {
+        "scenario": name,
+        "seed": seed,
+        "duration_ms": duration_ms,
+        "counters": counters,
+        "recovery": recovery_block,
+        "faults_active_end": registry.gauge_value("faults.active"),
+        "journal": {
+            "injected": len(dep.journal.records("fault.injected")),
+            "reverted": len(dep.journal.records("fault.reverted")),
+        },
+    }
+
+
+def compare_to_seed(snapshot: dict, seed_snapshot: dict) -> list[str]:
+    """Exact-match comparison; returns human-readable findings, empty = clean.
+
+    Chaos runs are bit-identical per seed, so unlike the routing gate the
+    chaos gate pins *everything*: fault counts, recovery latency moments,
+    delivery totals.  Any drift means either nondeterminism crept in or a
+    behaviour change needs a deliberate seed-snapshot refresh.
+    """
+    findings: list[str] = []
+    for field in ("scenario", "seed", "duration_ms"):
+        if snapshot.get(field) != seed_snapshot.get(field):
+            findings.append(
+                f"{field} mismatch: {snapshot.get(field)!r} != "
+                f"seed {seed_snapshot.get(field)!r}"
+            )
+    live, seed = snapshot.get("counters", {}), seed_snapshot.get("counters", {})
+    for name in sorted({*live, *seed}):
+        if live.get(name, 0) != seed.get(name, 0):
+            findings.append(
+                f"{name} drifted: {live.get(name, 0)} != seed {seed.get(name, 0)}"
+            )
+    if snapshot.get("recovery") != seed_snapshot.get("recovery"):
+        findings.append(
+            f"recovery drifted: {snapshot.get('recovery')} != "
+            f"seed {seed_snapshot.get('recovery')}"
+        )
+    if snapshot.get("faults_active_end") != seed_snapshot.get("faults_active_end"):
+        findings.append(
+            f"faults_active_end drifted: {snapshot.get('faults_active_end')} != "
+            f"seed {seed_snapshot.get('faults_active_end')}"
+        )
+    if snapshot.get("journal") != seed_snapshot.get("journal"):
+        findings.append(
+            f"journal transition counts drifted: {snapshot.get('journal')} != "
+            f"seed {seed_snapshot.get('journal')}"
+        )
+    return findings
+
+
+def render_snapshot(snapshot: dict) -> str:
+    """Stable JSON form used for the committed seed file and CI dumps."""
+    return json.dumps(snapshot, indent=2, sort_keys=True) + "\n"

@@ -275,6 +275,12 @@ class Broker:
 
     def publish_from_broker(self, message: Message) -> None:
         """The broker itself publishes (trace generation, section 3.3)."""
+        if self.failed:
+            # a crashed broker generates nothing — its trace processes may
+            # still be scheduled, but no self-publication leaves the host
+            self.monitor.increment("messages.dropped_broker_failed")
+            self.metrics.counter("broker.msgs.dropped").inc()
+            return
         self.sim.process(
             self._ingress(message, origin=self.broker_id, from_neighbor=False, self_origin=True),
             name=f"{self.broker_id}.selfpub",

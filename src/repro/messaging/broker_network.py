@@ -234,6 +234,71 @@ class BrokerNetwork:
 
     # ------------------------------------------------------------ failures
 
+    def neighbors_of(self, broker_id: str) -> tuple[str, ...]:
+        """Snapshot of a broker's current adjacency (sorted).
+
+        Fault controllers capture this *before* ``fail_broker`` wipes the
+        adjacency, so the same neighbor set can be handed back to
+        ``recover_broker`` when the fault is reverted.
+        """
+        self.broker(broker_id)
+        return tuple(sorted(self._adjacency[broker_id]))
+
+    def partition_link(self, a: str, b: str) -> None:
+        """Sever the ``a``–``b`` adjacency without failing either broker.
+
+        The physical :class:`Link` objects survive (in-flight payloads
+        still arrive) but routing stops using the edge, so traffic steers
+        around it or becomes unroutable — a network partition, not a crash.
+        """
+        broker_a, broker_b = self.broker(a), self.broker(b)
+        if b not in broker_a.neighbor_links or a not in broker_b.neighbor_links:
+            raise RoutingError(f"no link between {a!r} and {b!r}")
+        self._adjacency[a].discard(b)
+        self._adjacency[b].discard(a)
+        self._recompute_routes()
+
+    def heal_link(self, a: str, b: str) -> None:
+        """Restore an adjacency removed by :meth:`partition_link`.
+
+        A failed endpoint stays out of the routing graph; healing a link
+        to a crashed broker only takes effect once ``recover_broker``
+        brings it back.
+        """
+        broker_a, broker_b = self.broker(a), self.broker(b)
+        if b not in broker_a.neighbor_links or a not in broker_b.neighbor_links:
+            raise RoutingError(f"no link between {a!r} and {b!r}")
+        if not broker_a.failed and not broker_b.failed:
+            self._adjacency[a].add(b)
+            self._adjacency[b].add(a)
+        self._recompute_routes()
+
+    def links_of(self, broker_id: str) -> tuple[Link, ...]:
+        """Every directed :class:`Link` touching a broker, both directions.
+
+        Covers inter-broker links (outgoing and the peer's return link)
+        and client connections; the fault controller installs loss/delay
+        disruptions across this set to degrade a broker's whole vicinity.
+        """
+        broker = self.broker(broker_id)
+        links: list[Link] = []
+        for neighbor_id in sorted(broker.neighbor_links):
+            links.append(broker.neighbor_links[neighbor_id])
+            peer = self._brokers.get(neighbor_id)
+            if peer is not None and broker_id in peer.neighbor_links:
+                links.append(peer.neighbor_links[broker_id])
+        for client_id in broker.client_ids:
+            links.append(broker._client_links[client_id])
+            client = self._clients.get(client_id)
+            if (
+                client is not None
+                and client.connected
+                and client.broker is broker
+                and client._link_to_broker is not None
+            ):
+                links.append(client._link_to_broker)
+        return tuple(links)
+
     def fail_broker(self, broker_id: str) -> None:
         """Take a broker down: it drops traffic and routing steers around it.
 

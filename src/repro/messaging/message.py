@@ -18,6 +18,20 @@ from repro.messaging.topics import Topic
 _message_ids = itertools.count(1)
 
 
+def reset_message_ids(start: int = 1) -> None:
+    """Rewind the process-global message-id counter.
+
+    Message ids appear in :meth:`Message.wire_dict`, so their *digit width*
+    feeds into wire-size accounting and therefore into sampled virtual
+    latencies.  Harnesses that promise bit-identical replays at a fixed seed
+    (``repro.faults.run_scenario``) must rewind the counter before each run;
+    otherwise the timeline depends on how many messages earlier deployments
+    in the same process happened to create.
+    """
+    global _message_ids
+    _message_ids = itertools.count(start)
+
+
 @dataclass(frozen=True, slots=True)
 class Message:
     """One routable message.

@@ -112,6 +112,9 @@ class TraceManager:
         self.ping_jitter_frac = ping_jitter_frac
         # section 3.5 gating; disable only for the EXP-A4 ablation
         self.gate_by_interest = gate_by_interest
+        # installed by a fault controller; when present, FAILED verdicts
+        # open a recovery window and successful registrations close it
+        self.recovery_probe = None
 
         self.credentials = EntityCredentials.issue(
             f"broker-cred-{broker.broker_id}", ca, self.machine.rng
@@ -281,6 +284,10 @@ class TraceManager:
         )
         self._publish_plain(response_topic.canonical, sealed.to_dict())
         self.monitor.increment("trace.sessions_created")
+        if self.recovery_probe is not None:
+            self.recovery_probe.mark_reregistered(
+                str(request.entity_id), self.sim.now
+            )
 
     def _reject_registration(
         self, request: TraceRegistrationRequest, response_topic, reason: str
@@ -550,6 +557,25 @@ class TraceManager:
             name=f"{self.broker.broker_id}.disconnect",
         )
 
+    def handle_broker_restart(self) -> None:
+        """Reset per-session windowed state after this broker's crash heals.
+
+        The broker object survives a simulated crash/restart, but every
+        ping record, answered-watermark and suspicion verdict in it
+        describes the dead incarnation.  Without this reset the stale
+        unanswered records count as trailing misses the moment the loop
+        thaws, and the old watermark misclassifies the first fresh
+        responses — the restart bug this method and
+        ``PingHistory.reset_incarnation`` exist to fix.
+        """
+        for session in self.sessions.values():
+            if not session.active:
+                continue
+            session.history.reset_incarnation()
+            if not session.declared_failed:
+                session.detector.reset()
+                session.suspicion_announced = False
+
     # ------------------------------------------------------------------ pinging
 
     def _ping_loop(self, session: TraceSession) -> Generator[Event, None, None]:
@@ -562,6 +588,12 @@ class TraceManager:
                 self.machine.rng.uniform(0.0, session.current_interval_ms)
             )
         while session.active and not session.declared_failed:
+            if self.broker.failed:
+                # the broker process is down: a dead host issues no pings
+                # and judges no misses.  Idle until the fabric recovers us;
+                # handle_broker_restart() clears the stale window then.
+                yield self.sim.timeout(session.current_interval_ms)
+                continue
             ping = Ping(
                 number=session.next_ping_number(), issued_ms=self.machine.now()
             )
@@ -581,6 +613,11 @@ class TraceManager:
             yield self.sim.timeout(judge_wait)
             if not session.active:
                 break
+            if self.broker.failed:
+                # crashed between issuing the ping and judging it — the
+                # response (if any) was dropped by the dead broker, so
+                # judging now would count phantom misses
+                continue
             now = self.machine.now()
             misses = session.history.consecutive_misses(now, deadline)
             verdict = session.detector.judge(misses)
@@ -607,6 +644,10 @@ class TraceManager:
                 self.monitor.metrics.histogram(
                     "tracker.detection.latency_ms"
                 ).observe(now - last_alive)
+                if self.recovery_probe is not None:
+                    self.recovery_probe.mark_detected(
+                        str(session.entity_id), now, cause="failed_verdict"
+                    )
                 yield from self.publish_trace(
                     session,
                     TraceType.FAILED,

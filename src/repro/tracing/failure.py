@@ -10,6 +10,22 @@ interval is reduced to hasten the failure detection of the entity."
 FAILURE_SUSPICION trace is reported.  Lack of responses ... for additional
 pings ... is taken as a sign that the traced entity has failed, and a
 FAILED trace is issued."
+
+Detection thresholds from the paper, as encoded by the defaults below:
+
+* a response is *missed* once it is **400 ms** overdue
+  (``AdaptivePingPolicy.response_deadline_ms``);
+* **3** consecutive misses → FAILURE_SUSPICION
+  (``FailureDetector.suspicion_threshold``);
+* **6** consecutive misses → FAILED, monotone — only re-registration
+  creates a fresh session (``FailureDetector.failure_threshold``);
+* the adaptive interval moves between **125 ms** and **8000 ms** around a
+  **1000 ms** base: x1.25 growth after a clean mature window (30 s),
+  x0.5 shrink per trailing miss.
+
+Misses are counted over the last-10-pings window kept by
+``tracing/pings.py``; ``tracker.detection.latency_ms`` records the span
+from the last sign of life to the FAILED declaration (Figure 5).
 """
 
 from __future__ import annotations

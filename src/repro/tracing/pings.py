@@ -8,6 +8,25 @@ broker to compute network latencies."
 
 "For every traced entity, a broker maintains ... the response times (and
 loss rates) associated with the last 10 pings."
+
+Paper detection thresholds encoded here and in ``tracing/failure.py``:
+
+* history window: the last **10** pings (``PING_HISTORY_WINDOW``);
+* a ping is judged *missed* once its response is **400 ms** overdue
+  (``AdaptivePingPolicy.response_deadline_ms``);
+* **3** consecutive misses raise a FAILURE_SUSPICION trace, **6** declare
+  the entity FAILED (``FailureDetector`` defaults, section 3.3);
+* the ping interval adapts between **125 ms** and **8000 ms** around a
+  1000 ms base (growth x1.25 on answered, shrink x0.5 on missed).
+
+Broker-restart incarnations: a broker that crashes and recovers keeps its
+``PingHistory`` objects, but their windowed state describes the *previous*
+incarnation — in particular the highest-answered watermark and the stale
+unanswered records issued before the crash.  ``reset_incarnation()`` clears
+that windowed state (records, watermark, last-ping timestamp) while
+preserving cumulative out-of-order statistics, so the first post-restart
+responses are judged on their own merits instead of being suppressed or
+mis-matched against pre-crash pings.
 """
 
 from __future__ import annotations
@@ -122,9 +141,18 @@ class PingHistory:
         inflate the denominator of ``out_of_order_rate()`` (and a
         duplicate must not advance the highest-answered watermark), which
         skewed the NETWORK_METRICS traces of section 3.3.
+
+        A response must echo both the number *and* the issue timestamp of
+        a recorded ping (the pair the paper says every response carries);
+        matching on the number alone let a stale record from a pre-restart
+        incarnation swallow a fresh response that reused its number.
         """
         for record in self._records:
-            if record.number == response.number and not record.answered:
+            if (
+                record.number == response.number
+                and record.issued_ms == response.issued_ms
+                and not record.answered
+            ):
                 record.response_ms = received_ms
                 self._responses += 1
                 if response.number < self._highest_response_number:
@@ -137,6 +165,20 @@ class PingHistory:
                     )
                 return True
         return False
+
+    def reset_incarnation(self) -> None:
+        """Forget windowed state from a previous broker incarnation.
+
+        Called when the owning broker restarts after a crash: every
+        recorded ping (answered or not) belongs to the dead incarnation,
+        and the highest-answered watermark would misclassify the first
+        post-restart responses as out of order.  Cumulative statistics
+        (``_out_of_order`` / ``_responses``) survive — they describe the
+        entity's link, not the broker's process lifetime.
+        """
+        self._records.clear()
+        self._highest_response_number = -1
+        self.last_ping_ms = None
 
     def last_response_ms(self) -> float | None:
         """Broker receive time of the most recent answered ping, if any."""

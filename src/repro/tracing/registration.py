@@ -1,4 +1,4 @@
-"""Traced-entity registration messages (section 3.2).
+"""Traced-entity registration messages and recovery timing (section 3.2).
 
 The registration request carries: the entity's identifier and credentials,
 the trace topic advertisement (provenance), a request identifier for
@@ -6,18 +6,78 @@ response correlation, and the entity's signature over all of it
 (demonstrating possession of the credentials and providing tamper
 evidence).  The success response carries the request identifier and the
 broker-minted session identifier, sealed so only the entity can read it.
+
+Re-registration is also the system's recovery path: a crashed entity, or
+an entity whose broker died, comes back by registering again (with a new
+broker if necessary).  :class:`RecoveryProbe` times that loop — from the
+moment a failure is *detected* (FAILED verdict, or a fault controller
+initiating failover) to the moment the entity's re-registration succeeds
+— and publishes it as the ``trace.recovery_ms`` histogram.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.crypto.certificates import Certificate
 from repro.crypto.rsa import RSAPublicKey
 from repro.crypto.signing import SignedEnvelope
 from repro.errors import RegistrationError
+from repro.obs import EventJournal, MetricsRegistry
 from repro.tdn.advertisement import TopicAdvertisement
 from repro.util.identifiers import EntityId, RequestId, SessionId, UUID128
+
+
+@dataclass(slots=True)
+class RecoveryProbe:
+    """Measures detection → re-registration latency per entity.
+
+    One probe is shared by every :class:`~repro.tracing.broker_ops.TraceManager`
+    in a deployment (installed by the fault controller).  ``mark_detected``
+    is first-wins per entity — the earliest of "the tracker declared FAILED"
+    and "the fault controller started failover" opens the window; the next
+    successful registration for that entity closes it and observes
+    ``trace.recovery_ms``.
+    """
+
+    metrics: MetricsRegistry
+    journal: EventJournal | None = None
+    _detected_at: dict[str, float] = field(default_factory=dict)
+    _causes: dict[str, str] = field(default_factory=dict)
+
+    def mark_detected(self, entity_id: str, at_ms: float, cause: str) -> None:
+        """Open the recovery window for an entity (first signal wins)."""
+        if entity_id in self._detected_at:
+            return
+        self._detected_at[entity_id] = at_ms
+        self._causes[entity_id] = cause
+        self.metrics.counter("trace.recovery.detected").inc()
+        if self.journal is not None:
+            self.journal.record(
+                at_ms, "recovery.detected", entity=entity_id, cause=cause
+            )
+
+    def mark_reregistered(self, entity_id: str, at_ms: float) -> None:
+        """Close the window on a successful registration, if one is open."""
+        detected = self._detected_at.pop(entity_id, None)
+        if detected is None:
+            return
+        cause = self._causes.pop(entity_id, "")
+        elapsed = at_ms - detected
+        self.metrics.histogram("trace.recovery_ms").observe(elapsed)
+        self.metrics.counter("trace.recovery.completed").inc()
+        if self.journal is not None:
+            self.journal.record(
+                at_ms,
+                "recovery.completed",
+                entity=entity_id,
+                cause=cause,
+                recovery_ms=elapsed,
+            )
+
+    def pending(self) -> tuple[str, ...]:
+        """Entities whose recovery window is still open (sorted)."""
+        return tuple(sorted(self._detected_at))
 
 
 @dataclass(frozen=True, slots=True)

@@ -8,6 +8,7 @@ nodes carrying opaque payloads with those semantics.
 """
 
 from repro.transport.base import TransportProfile, DeliveryReceipt, wire_size
+from repro.transport.disruption import LinkDisruption
 from repro.transport.link import Link, DuplexLink
 from repro.transport.tcp import tcp_profile, TCP_CLUSTER
 from repro.transport.udp import udp_profile, UDP_CLUSTER
@@ -18,6 +19,7 @@ __all__ = [
     "wire_size",
     "Link",
     "DuplexLink",
+    "LinkDisruption",
     "tcp_profile",
     "TCP_CLUSTER",
     "udp_profile",

@@ -1,0 +1,75 @@
+"""Link-level fault windows: extra loss and delay injected by `repro.faults`.
+
+A :class:`LinkDisruption` is the transport-side half of the fault-injection
+contract: the :class:`~repro.faults.controller.FaultController` constructs
+one per packet-loss / delay-spike fault window and installs it on the
+affected :class:`~repro.transport.link.Link` objects; ``Link.send``
+consults it for every payload while it is installed and removes nothing
+else about the link's behaviour.
+
+Design constraints:
+
+* **Determinism** — a disruption draws from its *own* seeded stream
+  (``faults.links`` by convention), never from the link's stream, so a
+  healthy run and a chaos run agree on every draw the healthy path makes
+  (the RandomStreams independence property).
+* **Beyond-transport faults** — an injected drop discards the payload even
+  on ``reliable`` profiles.  Profile-level loss models congestion the
+  transport can recover from; an injected drop models a blackhole the
+  retransmission logic never sees (switch buffer loss, a dead middlebox),
+  which is exactly the condition section 3.3's miss counting must survive.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import ConfigurationError
+
+
+class LinkDisruption:
+    """One active loss/delay window on a link.
+
+    ``sample()`` is called once per payload offered to the link while the
+    disruption is installed; it returns ``(drop, extra_delay_ms)``.  The
+    ``drops`` / ``delayed`` counters let the fault controller journal what
+    the window actually did when it is reverted.
+    """
+
+    __slots__ = ("rng", "loss_probability", "extra_delay_ms", "drops", "delayed")
+
+    def __init__(
+        self,
+        rng: random.Random,
+        loss_probability: float = 0.0,
+        extra_delay_ms: float = 0.0,
+    ) -> None:
+        if not 0.0 <= loss_probability <= 1.0:
+            raise ConfigurationError(
+                f"loss_probability must be in [0, 1], got {loss_probability}"
+            )
+        if extra_delay_ms < 0.0:
+            raise ConfigurationError(
+                f"extra_delay_ms must be >= 0, got {extra_delay_ms}"
+            )
+        self.rng = rng
+        self.loss_probability = loss_probability
+        self.extra_delay_ms = extra_delay_ms
+        self.drops = 0
+        self.delayed = 0
+
+    def sample(self) -> tuple[bool, float]:
+        """Judge one payload: ``(drop it?, extra latency to add)``."""
+        if self.loss_probability > 0.0 and self.rng.random() < self.loss_probability:
+            self.drops += 1
+            return True, 0.0
+        if self.extra_delay_ms > 0.0:
+            self.delayed += 1
+            return False, self.extra_delay_ms
+        return False, 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<LinkDisruption loss={self.loss_probability} "
+            f"delay={self.extra_delay_ms}ms drops={self.drops}>"
+        )

@@ -47,6 +47,9 @@ class Link:
         self.delivered_count = 0
         self.dropped_count = 0
         self.retransmit_count = 0
+        # Optional fault window installed by repro.faults; ``None`` on the
+        # healthy path so no extra RNG draws happen outside a chaos run.
+        self.disruption: Any = None
 
     def send(self, payload: Any) -> DeliveryReceipt:
         """Send ``payload``; schedules receiver callback in virtual time."""
@@ -58,6 +61,26 @@ class Link:
             metrics.counter("transport.bytes.sent").inc(size)
         latency = self.profile.sample_latency_ms(size, self._rng)
         retransmits = 0
+
+        disruption = self.disruption
+        if disruption is not None:
+            drop, extra_delay_ms = disruption.sample()
+            if drop:
+                # An injected drop is a blackhole: it bypasses the reliable
+                # retransmission path on purpose (see transport/disruption.py).
+                self.dropped_count += 1
+                if self._monitor:
+                    self._monitor.increment(f"{self.name}.dropped")
+                    metrics.counter("transport.msgs.dropped").inc()
+                    self._monitor.journal.record(
+                        self.sim.now,
+                        "link.drop",
+                        size_bytes=size,
+                        link=self.name,
+                        injected=True,
+                    )
+                return DeliveryReceipt(False, latency, 0, size)
+            latency += extra_delay_ms
 
         if self.profile.sample_loss(self._rng):
             if not self.profile.reliable:

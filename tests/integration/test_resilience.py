@@ -72,6 +72,10 @@ class TestBrokerFailure:
         entity, tracker = bootstrap(dep)
         dep.network.fail_broker("b1")
         marker = dep.sim.now
+        dep.sim.run(until=marker + 10_000)
+        # the manager's ping loop freezes during the outage, so drive some
+        # client traffic at the dead broker to show it gets dropped
+        entity.client.publish("app.data", {"status": "still-alive"})
         dep.sim.run(until=marker + 20_000)
         late = [t for t in tracker.traces_of_type(TraceType.ALLS_WELL)
                 if t.received_ms > marker + 1_000]
@@ -110,3 +114,42 @@ class TestBrokerFailure:
         late = [t for t in tracker.traces_of_type(TraceType.ALLS_WELL)
                 if t.received_ms > 13_000]
         assert late
+
+
+class TestBrokerRestart:
+    """Regression: a restarted broker must not judge a live entity by the
+    ping watermark of its pre-crash incarnation (see PingHistory
+    ``reset_incarnation``)."""
+
+    def test_entity_survives_broker_restart_without_false_failure(self, dep):
+        entity, tracker = bootstrap(dep)
+        neighbors = dep.network.neighbors_of("b1")
+        dep.network.fail_broker("b1")
+        restart_at = dep.sim.now + 8_000
+        dep.sim.call_at(restart_at, lambda: dep.restart_broker("b1", neighbors))
+        dep.sim.run(until=restart_at + 30_000)
+
+        # the entity never crashed, so the restarted broker must not have
+        # declared it FAILED off pre-crash ping state
+        assert not tracker.traces_of_type(TraceType.FAILED)
+        session = dep.manager_of("b1").session_of("svc")
+        assert session is not None and session.active
+        assert not session.declared_failed
+        late = [t for t in tracker.traces_of_type(TraceType.ALLS_WELL)
+                if t.received_ms > restart_at + 1_000]
+        assert late, "heartbeats should resume after the restart"
+
+    def test_restart_clears_stale_ping_watermark(self, dep):
+        entity, _ = bootstrap(dep)
+        session = dep.manager_of("b1").session_of("svc")
+        assert session.history.last_ping_ms is not None
+        dep.network.fail_broker("b1")
+        dep.sim.run(until=dep.sim.now + 5_000)
+        dep.restart_broker("b1", ["b2"])
+        # fresh incarnation: window emptied, watermark cleared
+        assert session.history.last_ping_ms is None
+        assert len(session.history) == 0
+        dep.sim.run(until=dep.sim.now + 10_000)
+        # post-restart pings are being issued and answered again
+        assert len(session.history) > 0
+        assert session.history.rtts(), "fresh responses should be matched"

@@ -27,7 +27,7 @@ def test_triggers_cover_push_and_pr(workflow):
 
 def test_has_lint_analyze_test_and_bench_jobs(workflow):
     jobs = workflow["jobs"]
-    assert set(jobs) == {"lint", "analyze", "test", "bench-smoke"}
+    assert set(jobs) == {"lint", "analyze", "test", "bench-smoke", "chaos-smoke"}
 
 
 def test_analyze_job_runs_domain_linter(workflow):
@@ -53,3 +53,14 @@ def test_bench_smoke_compiles_and_runs_bench_tests(workflow):
     runs = [step.get("run") or "" for step in workflow["jobs"]["bench-smoke"]["steps"]]
     assert any("compileall" in run for run in runs)
     assert any("tests/bench" in run for run in runs)
+
+
+def test_chaos_smoke_gates_scenario_against_seed(workflow):
+    runs = [step.get("run") or "" for step in workflow["jobs"]["chaos-smoke"]["steps"]]
+    assert any("repro faults --scenario broker-crash --json" in run for run in runs)
+    assert any("chaos_seed.json" in run for run in runs)
+
+
+def test_chaos_smoke_checks_doc_links(workflow):
+    runs = [step.get("run") or "" for step in workflow["jobs"]["chaos-smoke"]["steps"]]
+    assert any("check_doc_links" in run for run in runs)

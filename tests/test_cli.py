@@ -27,6 +27,23 @@ class TestParser:
         assert args.json is True
         assert args.seed == 5
 
+    def test_faults_flags(self):
+        args = build_parser().parse_args(
+            ["faults", "--scenario", "broker-crash", "--json", "--seed", "7"]
+        )
+        assert args.command == "faults"
+        assert args.scenario == "broker-crash"
+        assert args.json is True
+        assert args.seed == 7
+
+    def test_faults_rejects_unknown_scenario(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["faults", "--scenario", "meteor-strike"])
+
+    def test_faults_requires_scenario(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["faults"])
+
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
@@ -90,3 +107,18 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "uptime" in out
         assert "svc" in out
+
+    def test_faults_text(self, capsys):
+        assert main(["faults", "--scenario", "entity-churn", "--duration", "30000"]) == 0
+        out = capsys.readouterr().out
+        assert "chaos scenario: entity-churn" in out
+        assert "faults injected" in out
+
+    def test_faults_json_matches_run_scenario(self, capsys):
+        import json
+
+        from repro.faults import run_scenario
+
+        assert main(["faults", "--scenario", "broker-crash", "--json"]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot == run_scenario("broker-crash")

@@ -1,0 +1,40 @@
+"""Tier-1 mirror of the CI docs link-checker (tools/check_doc_links.py)."""
+
+import importlib.util
+import pathlib
+
+import pytest
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[1]
+TOOL = REPO_ROOT / "tools" / "check_doc_links.py"
+
+
+@pytest.fixture(scope="module")
+def checker():
+    spec = importlib.util.spec_from_file_location("check_doc_links", TOOL)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_no_broken_relative_links(checker):
+    findings = checker.broken_links(REPO_ROOT)
+    assert not findings, "broken doc links:\n" + "\n".join(findings)
+
+
+def test_checker_covers_readme_and_docs(checker):
+    files = {p.name for p in checker.doc_files(REPO_ROOT)}
+    assert "README.md" in files
+    assert "FAULTS.md" in files
+    assert "ARCHITECTURE.md" in files
+
+
+def test_checker_detects_breakage(checker, tmp_path):
+    (tmp_path / "docs").mkdir()
+    (tmp_path / "README.md").write_text(
+        "[ok](docs/REAL.md) [bad](docs/MISSING.md) [ext](https://example.com) "
+        "[anchor](#section)\n"
+    )
+    (tmp_path / "docs" / "REAL.md").write_text("[up](../README.md#quick)\n")
+    findings = checker.broken_links(tmp_path)
+    assert findings == ["README.md: docs/MISSING.md"]

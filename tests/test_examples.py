@@ -55,6 +55,14 @@ class TestExamples:
         assert "2 outages" in out
         assert "expected RTT" in out
 
+    def test_chaos_recovery(self, capsys):
+        out = run_example("chaos_recovery.py", capsys)
+        assert "fault.injected" in out
+        assert "recovery.completed" in out
+        assert "failures detected: 1, recoveries completed: 1" in out
+        assert "detection -> re-registration latency" in out
+        assert "after the crash" in out
+
     def test_live_dashboard(self, capsys):
         # patch the playback speed before execution so the test stays quick
         path = EXAMPLES / "live_dashboard.py"

@@ -105,6 +105,60 @@ class TestResponses:
         assert history.out_of_order_rate() == pytest.approx(0.5)
 
 
+class TestIncarnations:
+    """Broker-restart semantics: stale pre-crash state must not poison the
+    new incarnation's judgement (regression for the restart false-FAILED
+    bug fixed alongside repro.faults)."""
+
+    def test_reset_clears_window_and_watermark(self):
+        history = PingHistory()
+        for i in range(5):
+            history.record_ping(Ping(i, i * 100.0))
+        respond(history, 4, 400.0, 405.0)
+        history.reset_incarnation()
+        assert len(history) == 0
+        assert history.last_ping_ms is None
+        assert history.rtts() == []
+        assert history.consecutive_misses(10_000.0, 400.0) == 0
+
+    def test_post_restart_response_not_marked_out_of_order(self):
+        """The old incarnation answered up to #9; after a restart ping
+        numbering starts over, and #0's response must not be judged
+        out-of-order against the dead incarnation's watermark."""
+        history = PingHistory()
+        for i in range(10):
+            history.record_ping(Ping(i, i * 100.0))
+            respond(history, i, i * 100.0, i * 100.0 + 5)
+        history.reset_incarnation()
+        history.record_ping(Ping(0, 5_000.0))
+        assert respond(history, 0, 5_000.0, 5_005.0)
+        assert history.out_of_order_rate() < 1 / 10
+
+    def test_stale_record_cannot_swallow_fresh_response(self):
+        """Without the issued_ms check a pre-crash unanswered ping #0 would
+        absorb the post-restart response to the *new* ping #0, leaving the
+        fresh ping to look missed."""
+        history = PingHistory()
+        history.record_ping(Ping(0, 100.0))  # pre-crash, never answered
+        history.record_ping(Ping(0, 9_000.0))  # post-restart reuse of #0
+        assert respond(history, 0, 9_000.0, 9_005.0)
+        answered = [r for r in history._records if r.answered]
+        assert [r.issued_ms for r in answered] == [9_000.0]
+        assert history.consecutive_misses(9_500.0, 400.0) == 0
+
+    def test_cumulative_stats_survive_reset(self):
+        history = PingHistory()
+        for i in range(3):
+            history.record_ping(Ping(i, 100.0 + i))
+        respond(history, 0, 100.0, 110.0)
+        respond(history, 2, 102.0, 111.0)
+        respond(history, 1, 101.0, 112.0)  # out of order
+        rate_before = history.out_of_order_rate()
+        assert rate_before > 0
+        history.reset_incarnation()
+        assert history.out_of_order_rate() == rate_before
+
+
 class TestMisses:
     def test_consecutive_misses_counts_trailing_unanswered(self):
         history = PingHistory()

@@ -1,0 +1,69 @@
+"""Relative-link checker for the repo's markdown docs.
+
+Scans ``README.md`` and ``docs/*.md`` for markdown links, resolves every
+relative target against the linking file's directory, and reports targets
+that do not exist on disk.  External links (http/https/mailto) and
+pure-anchor links are skipped; a ``#fragment`` on a relative link is
+stripped before the existence check.
+
+Used two ways: the ``chaos-smoke`` CI job runs it as a script (exit 1 on
+broken links), and ``tests/test_docs_links.py`` imports it so the tier-1
+suite catches doc rot locally.
+"""
+
+from __future__ import annotations
+
+import pathlib
+import re
+import sys
+
+#: Inline markdown links: [text](target).  Good enough for this repo's
+#: docs — no reference-style links, no angle-bracket autolinks to files.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+EXTERNAL_PREFIXES = ("http://", "https://", "mailto:")
+
+
+def doc_files(root: pathlib.Path) -> list[pathlib.Path]:
+    """README.md plus every markdown file under docs/, sorted."""
+    files = []
+    readme = root / "README.md"
+    if readme.exists():
+        files.append(readme)
+    files.extend(sorted((root / "docs").glob("*.md")))
+    return files
+
+
+def links_in(text: str) -> list[str]:
+    return LINK_RE.findall(text)
+
+
+def broken_links(root: pathlib.Path) -> list[str]:
+    """``"<file>: <target>"`` for every relative link that resolves nowhere."""
+    findings: list[str] = []
+    for doc in doc_files(root):
+        for target in links_in(doc.read_text()):
+            if target.startswith(EXTERNAL_PREFIXES) or target.startswith("#"):
+                continue
+            path_part = target.split("#", 1)[0]
+            if not path_part:
+                continue
+            resolved = (doc.parent / path_part).resolve()
+            if not resolved.exists():
+                findings.append(f"{doc.relative_to(root)}: {target}")
+    return findings
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    root = pathlib.Path(argv[0]) if argv else pathlib.Path.cwd()
+    findings = broken_links(root)
+    for finding in findings:
+        print(f"BROKEN LINK: {finding}")
+    if not findings:
+        print(f"doc links OK ({len(doc_files(root))} files checked)")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
