@@ -17,7 +17,17 @@ from repro.analysis.base import SEVERITY_ERROR, Checker, FileContext, Finding
 
 #: Documented instrument families (docs/OBSERVABILITY.md + docs/ANALYSIS.md).
 KNOWN_FAMILIES = frozenset(
-    {"analysis", "broker", "crypto", "faults", "tdn", "trace", "tracker", "transport"}
+    {
+        "analysis",
+        "auth",
+        "broker",
+        "crypto",
+        "faults",
+        "tdn",
+        "trace",
+        "tracker",
+        "transport",
+    }
 )
 
 #: Registry factory methods whose first argument is an instrument name.

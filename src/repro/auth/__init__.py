@@ -10,8 +10,13 @@ route and consume traces:
   forwarding (section 4.3);
 * trace topics are unguessable 128-bit UUIDs whose discovery is restricted
   at the TDN (section 4.1).
+
+Repeat verifications of a byte-identical token are answered by the
+:class:`TokenVerificationCache` (docs/PERFORMANCE.md) until expiry,
+revocation, or a broker restart clears it.
 """
 
+from repro.auth.cache import TokenVerificationCache, token_digest
 from repro.auth.credentials import EntityCredentials
 from repro.auth.tokens import AuthorizationToken, TokenRights
 from repro.auth.verification import TokenVerifier, TraceAuthorizationGuard
@@ -20,6 +25,8 @@ __all__ = [
     "EntityCredentials",
     "AuthorizationToken",
     "TokenRights",
+    "TokenVerificationCache",
     "TokenVerifier",
     "TraceAuthorizationGuard",
+    "token_digest",
 ]

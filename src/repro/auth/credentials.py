@@ -48,6 +48,7 @@ class EntityCredentials:
 
     @property
     def public_key(self):
+        """This entity's RSA public key (the certificate's subject key)."""
         return self.keys.public
 
     def __repr__(self) -> str:

@@ -56,6 +56,7 @@ class AuthorizationToken:
         valid_from_ms: float,
         valid_until_ms: float,
     ) -> dict:
+        """The exact field dict the owner signature covers (§4.2)."""
         return {
             "trace_topic": advertisement.trace_topic.hex,
             "token_n": token_public_key.n,
@@ -103,6 +104,7 @@ class AuthorizationToken:
         return now_ms > self.valid_until_ms + skew_tolerance_ms
 
     def not_yet_valid(self, now_ms: float, skew_tolerance_ms: float = 100.0) -> bool:
+        """Early-use check, skew-tolerant like :meth:`expired`."""
         return now_ms < self.valid_from_ms - skew_tolerance_ms
 
     def verify_owner_signature(self) -> None:
@@ -128,11 +130,13 @@ class AuthorizationToken:
 
     @property
     def trace_topic(self) -> UUID128:
+        """The trace topic this token authorizes (from the advertisement)."""
         return self.advertisement.trace_topic
 
     # -- wire form ----------------------------------------------------------------
 
     def to_dict(self) -> dict:
+        """JSON-ready wire form; ``from_dict`` round-trips it."""
         return {
             "advertisement": self.advertisement.to_dict(),
             "token_n": self.token_public_key.n,
@@ -145,6 +149,7 @@ class AuthorizationToken:
 
     @classmethod
     def from_dict(cls, data: dict) -> "AuthorizationToken":
+        """Parse a wire-form token; raises ``TokenError`` when malformed."""
         try:
             return cls(
                 advertisement=TopicAdvertisement.from_dict(data["advertisement"]),

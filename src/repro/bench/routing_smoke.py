@@ -86,11 +86,22 @@ def run_routing_smoke(
     seed: int = 42,
     duration_ms: float = 30_000.0,
     detach_at_ms: float = 20_000.0,
+    legacy_hot_paths: bool = False,
 ) -> dict:
-    """Run the scenario and return the routing counters as a snapshot dict."""
+    """Run the scenario and return the routing counters as a snapshot dict.
+
+    ``legacy_hot_paths`` disables the token-verification cache and ping
+    coalescing (docs/PERFORMANCE.md), reproducing the pre-optimization
+    wire behaviour pinned by ``benchmarks/results/routing_seed_legacy.json``.
+    """
     from repro import build_deployment
 
-    dep = build_deployment(broker_ids=["b1", "b2", "b3"], seed=seed)
+    dep = build_deployment(
+        broker_ids=["b1", "b2", "b3"],
+        seed=seed,
+        token_cache=not legacy_hot_paths,
+        ping_coalescing=not legacy_hot_paths,
+    )
     entity = dep.add_traced_entity("demo-service")
     tracker = dep.add_tracker("demo-tracker")
     tracker.connect("b3")

@@ -76,6 +76,21 @@ def _cmd_metrics(args) -> int:
     """Run the quickstart scenario, then dump the metrics snapshot."""
     from repro import build_deployment
 
+    if args.diff:
+        import json as _json
+
+        from repro.obs.diff import diff_snapshots, load_snapshot, render_diff
+
+        before_path, after_path = args.diff
+        diff = diff_snapshots(
+            load_snapshot(before_path), load_snapshot(after_path)
+        )
+        if args.json:
+            print(_json.dumps(diff, indent=2, sort_keys=True))
+        else:
+            print(render_diff(diff, only_changed=not args.all))
+        return 0
+
     if args.routing_smoke:
         from repro.bench.routing_smoke import render_snapshot, run_routing_smoke
 
@@ -387,6 +402,14 @@ def build_parser() -> argparse.ArgumentParser:
                          help="run the deterministic routing smoke scenario "
                               "(quickstart + detach) and emit its routing-"
                               "counter snapshot as JSON")
+    metrics.add_argument("--diff", nargs=2, metavar=("BEFORE", "AFTER"),
+                         default=None,
+                         help="instead of simulating, diff two snapshot JSON "
+                              "files and print per-instrument deltas "
+                              "(docs/PERFORMANCE.md); --json for machine-"
+                              "readable output")
+    metrics.add_argument("--all", action="store_true",
+                         help="with --diff: include unchanged instruments")
 
     analyze = sub.add_parser(
         "analyze", help="run the repro.analysis domain linter (exit 1 on findings)"

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping
 
+from repro.auth.cache import DEFAULT_TOKEN_CACHE_CAPACITY, TokenVerificationCache
 from repro.auth.credentials import EntityCredentials
 from repro.auth.verification import TokenVerifier, TraceAuthorizationGuard
 from repro.crypto.certificates import CertificateAuthority
@@ -51,6 +52,9 @@ class Deployment:
     default_profile: TransportProfile
     entities: dict[str, TracedEntity] = field(default_factory=dict)
     trackers: dict[str, Tracker] = field(default_factory=dict)
+    #: per-broker verifiers backing each broker's publish guard; their
+    #: verification caches are per-process state, cleared on restart
+    broker_verifiers: dict[str, TokenVerifier] = field(default_factory=dict)
 
     # ------------------------------------------------------------- principals
 
@@ -115,15 +119,20 @@ class Deployment:
     def restart_broker(self, broker_id: str, neighbors: Iterable[str] = ()) -> None:
         """Bring a failed broker back and reset its tracing incarnation.
 
-        Restores the fabric adjacency (``BrokerNetwork.recover_broker``)
-        and clears the broker's per-session ping windows
+        Restores the fabric adjacency (``BrokerNetwork.recover_broker``),
+        clears the broker's per-session ping windows
         (``TraceManager.handle_broker_restart``) so pre-crash state cannot
-        poison post-restart failure detection.
+        poison post-restart failure detection, and empties the broker's
+        token-verification cache — a restarted broker process starts cold
+        and must re-verify every token it sees.
         """
         self.network.recover_broker(broker_id, neighbors)
         manager = self.managers.get(broker_id)
         if manager is not None:
             manager.handle_broker_restart()
+        verifier = self.broker_verifiers.get(broker_id)
+        if verifier is not None and verifier.cache is not None:
+            verifier.cache.clear()
 
     # ---------------------------------------------------------- observability
 
@@ -160,12 +169,22 @@ def build_deployment(
     gauge_interval_ms: float = 60_000.0,
     skew_tolerance_ms: float = 100.0,
     extra_links: Iterable[tuple[str, str]] = (),
+    token_cache: bool = True,
+    token_cache_capacity: int = DEFAULT_TOKEN_CACHE_CAPACITY,
+    ping_coalescing: bool = True,
 ) -> Deployment:
     """Build a complete deployment.
 
     ``topology`` is ``"chain"`` (the paper's Figure 1 line of brokers),
     ``"star"`` (first broker is the hub), or ``"none"`` (add links via
     ``extra_links`` only).
+
+    ``token_cache`` and ``ping_coalescing`` toggle the hot-path
+    optimizations of docs/PERFORMANCE.md (the token-verification LRU and
+    batched pings to co-located entities).  Both default on; passing
+    ``False`` for both reproduces the pre-optimization wire behaviour
+    bit-for-bit, which is what the legacy seed snapshots under
+    ``benchmarks/results/*_legacy.json`` pin.
     """
     sim = Simulator()
     monitor = Monitor()
@@ -201,22 +220,49 @@ def build_deployment(
         uuid_seed=network.streams.derive_seed("tdn-uuids"),
     )
 
-    verifier = TokenVerifier(tdn_public_keys(tdn), skew_tolerance_ms=skew_tolerance_ms)
-    guard = TraceAuthorizationGuard(verifier)
+    trusted_keys = tdn_public_keys(tdn)
+
+    def _make_verifier() -> TokenVerifier:
+        cache = (
+            TokenVerificationCache(
+                capacity=token_cache_capacity, metrics=monitor.metrics
+            )
+            if token_cache
+            else None
+        )
+        return TokenVerifier(
+            trusted_keys, skew_tolerance_ms=skew_tolerance_ms, cache=cache
+        )
+
+    # trackers share this verifier; each broker's guard gets its own so a
+    # broker restart can cold-start that broker's cache independently
+    verifier = _make_verifier()
+    broker_verifiers: dict[str, TokenVerifier] = {}
+
+    def _locate_client_host(client_id: str) -> str | None:
+        try:
+            return network.client(client_id).machine.name
+        except KeyError:
+            return None
 
     discovery = BrokerDiscoveryService(sim, monitor=monitor)
     managers: dict[str, TraceManager] = {}
     for broker_id in ids:
         broker = network.broker(broker_id)
-        broker.publish_guards.append(guard)
+        broker_verifiers[broker_id] = _make_verifier()
+        broker.publish_guards.append(
+            TraceAuthorizationGuard(broker_verifiers[broker_id])
+        )
         discovery.register_broker(broker)
         managers[broker_id] = TraceManager(
             broker=broker,
             ca=ca,
-            tdn_public_keys=tdn_public_keys(tdn),
+            tdn_public_keys=trusted_keys,
             monitor=monitor,
             ping_policy=ping_policy,
             gauge_interval_ms=gauge_interval_ms,
+            ping_coalescing=ping_coalescing,
+            client_locator=_locate_client_host,
         )
 
     return Deployment(
@@ -229,4 +275,5 @@ def build_deployment(
         managers=managers,
         token_verifier=verifier,
         default_profile=profile,
+        broker_verifiers=broker_verifiers,
     )

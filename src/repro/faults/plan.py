@@ -98,6 +98,7 @@ class FaultEvent:
         return self.at_ms + self.duration_ms
 
     def to_dict(self) -> dict:
+        """JSON-ready event form; ``from_dict`` round-trips it."""
         return {
             "kind": self.kind.value,
             "at_ms": self.at_ms,
@@ -112,6 +113,7 @@ class FaultEvent:
 
     @classmethod
     def from_dict(cls, data: dict) -> "FaultEvent":
+        """Parse one event dict; raises ``ConfigurationError`` if invalid."""
         try:
             return cls(
                 kind=FaultKind(data["kind"]),
@@ -158,6 +160,7 @@ class FaultPlan:
         return horizon
 
     def to_dict(self) -> dict:
+        """JSON-ready plan form (events in timeline order)."""
         return {
             "name": self.name,
             "events": [event.to_dict() for event in self.timeline()],
@@ -165,6 +168,7 @@ class FaultPlan:
 
     @classmethod
     def from_dict(cls, data: dict) -> "FaultPlan":
+        """Parse a plan dict; raises ``ConfigurationError`` if invalid."""
         try:
             return cls(
                 name=str(data["name"]),

@@ -156,8 +156,14 @@ def scenario_plan(name: str) -> FaultPlan:
     return builder()
 
 
-def build_chaos_deployment(seed: int = 42):
-    """The shared three-broker-ring deployment every scenario runs on."""
+def build_chaos_deployment(seed: int = 42, legacy_hot_paths: bool = False):
+    """The shared three-broker-ring deployment every scenario runs on.
+
+    ``legacy_hot_paths`` disables the token-verification cache and ping
+    coalescing (docs/PERFORMANCE.md) so the run reproduces the
+    pre-optimization behaviour pinned by
+    ``benchmarks/results/chaos_seed_legacy.json``.
+    """
     from repro import build_deployment
 
     dep = build_deployment(
@@ -165,12 +171,17 @@ def build_chaos_deployment(seed: int = 42):
         seed=seed,
         ping_policy=CHAOS_PING_POLICY,
         extra_links=[("b1", "b3")],
+        token_cache=not legacy_hot_paths,
+        ping_coalescing=not legacy_hot_paths,
     )
     return dep
 
 
 def run_scenario(
-    name: str, seed: int = 42, duration_ms: float | None = None
+    name: str,
+    seed: int = 42,
+    duration_ms: float | None = None,
+    legacy_hot_paths: bool = False,
 ) -> dict:
     """Run one scenario end to end and return its snapshot dict."""
     plan = scenario_plan(name)
@@ -181,7 +192,7 @@ def run_scenario(
     # and hence sampled latencies), so the bit-identical-replay promise needs
     # the process-global counter rewound before every run.
     reset_message_ids()
-    dep = build_chaos_deployment(seed)
+    dep = build_chaos_deployment(seed, legacy_hot_paths=legacy_hot_paths)
     entity = dep.add_traced_entity(ENTITY_ID)
     tracker = dep.add_tracker(TRACKER_ID)
     tracker.interest_refresh_ms = 0.0

@@ -10,6 +10,7 @@ keeping private accumulators.  Naming convention and instrument taxonomy:
 ``docs/OBSERVABILITY.md``.
 """
 
+from repro.obs.diff import diff_snapshots, load_snapshot, render_diff
 from repro.obs.instruments import (
     DEFAULT_BUCKETS_MS,
     Counter,
@@ -29,4 +30,7 @@ __all__ = [
     "JournalRecord",
     "MetricsRegistry",
     "Timer",
+    "diff_snapshots",
+    "load_snapshot",
+    "render_diff",
 ]

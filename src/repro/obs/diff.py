@@ -1,0 +1,153 @@
+"""Snapshot diffing: per-instrument deltas between two registry snapshots.
+
+The evidence format of docs/PERFORMANCE.md: capture a
+:meth:`~repro.obs.registry.MetricsRegistry.snapshot` before and after a
+change, then :func:`diff_snapshots` computes per-instrument deltas and
+:func:`render_diff` lays them out as the fixed-width table perf PRs paste.
+``repro metrics --diff before.json after.json`` is the CLI entry point.
+
+Histograms are compared on their reproducible aggregates — sample count,
+sum (``count * mean``) and mean — because bucket counts answer "what
+changed" less directly than "how much less total work happened".
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.errors import SerializationError
+
+
+def load_snapshot(path: str) -> dict:
+    """Read one snapshot JSON file, tolerating partial documents.
+
+    Accepts anything :meth:`MetricsRegistry.snapshot` (or a bench script
+    wrapping it) produced; missing sections normalize to empty so a
+    counters-only capture still diffs cleanly.
+    """
+    try:
+        with open(path, encoding="utf-8") as handle:
+            raw = json.load(handle)
+    except (OSError, ValueError) as exc:
+        raise SerializationError(f"cannot read snapshot {path!r}: {exc}") from exc
+    if not isinstance(raw, dict):
+        raise SerializationError(f"snapshot {path!r} is not a JSON object")
+    # bench wrappers nest the registry snapshot under "snapshot"
+    if "snapshot" in raw and isinstance(raw["snapshot"], dict):
+        raw = raw["snapshot"]
+    return {
+        "counters": dict(raw.get("counters", {})),
+        "gauges": dict(raw.get("gauges", {})),
+        "histograms": dict(raw.get("histograms", {})),
+    }
+
+
+def _pct(before: float, delta: float) -> float | None:
+    """Relative change in percent; None when the baseline is zero."""
+    if before == 0:
+        return None
+    return 100.0 * delta / before
+
+
+def _histogram_aggregates(hist: dict) -> dict:
+    count = float(hist.get("count", 0) or 0)
+    mean = float(hist.get("mean", 0.0) or 0.0)
+    return {"count": count, "sum": count * mean, "mean": mean}
+
+
+def diff_snapshots(before: dict, after: dict) -> dict:
+    """Per-instrument deltas between two snapshot dicts.
+
+    Returns ``{"counters": {name: {before, after, delta, pct}}, "gauges":
+    {...}, "histograms": {name: {count: {...}, sum: {...}, mean: {...}}}}``
+    covering the union of instrument names; an instrument absent on one
+    side reads as zero/empty there.
+    """
+    result: dict = {"counters": {}, "gauges": {}, "histograms": {}}
+    for section in ("counters", "gauges"):
+        b_side, a_side = before.get(section, {}), after.get(section, {})
+        for name in sorted({*b_side, *a_side}):
+            b = float(b_side.get(name, 0) or 0)
+            a = float(a_side.get(name, 0) or 0)
+            result[section][name] = {
+                "before": b,
+                "after": a,
+                "delta": a - b,
+                "pct": _pct(b, a - b),
+            }
+    b_hists = before.get("histograms", {})
+    a_hists = after.get("histograms", {})
+    for name in sorted({*b_hists, *a_hists}):
+        b_agg = _histogram_aggregates(b_hists.get(name, {}))
+        a_agg = _histogram_aggregates(a_hists.get(name, {}))
+        result["histograms"][name] = {
+            stat: {
+                "before": b_agg[stat],
+                "after": a_agg[stat],
+                "delta": a_agg[stat] - b_agg[stat],
+                "pct": _pct(b_agg[stat], a_agg[stat] - b_agg[stat]),
+            }
+            for stat in ("count", "sum", "mean")
+        }
+    return result
+
+
+def _fmt(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.3f}"
+
+
+def _fmt_delta(value: float) -> str:
+    text = _fmt(value)
+    return f"+{text}" if value > 0 else text
+
+
+def _fmt_pct(pct: float | None) -> str:
+    return "    —" if pct is None else f"{pct:+.1f}%"
+
+
+def render_diff(diff: dict, only_changed: bool = True) -> str:
+    """Fixed-width table of a :func:`diff_snapshots` result.
+
+    ``only_changed`` (the default) drops rows whose delta is zero, which
+    is what a perf PR wants to paste; pass ``False`` for the full union.
+    """
+    lines: list[str] = []
+    header = f"{'instrument':<46s} {'before':>14s} {'after':>14s} {'delta':>14s} {'%':>8s}"
+
+    def emit(section: str, rows: list[str]) -> None:
+        if rows:
+            lines.append(f"[{section}]")
+            lines.extend(rows)
+            lines.append("")
+
+    for section in ("counters", "gauges"):
+        rows = []
+        for name, entry in diff.get(section, {}).items():
+            if only_changed and entry["delta"] == 0:
+                continue
+            rows.append(
+                f"{name:<46s} {_fmt(entry['before']):>14s} "
+                f"{_fmt(entry['after']):>14s} {_fmt_delta(entry['delta']):>14s} "
+                f"{_fmt_pct(entry['pct']):>8s}"
+            )
+        emit(section, rows)
+
+    rows = []
+    for name, entry in diff.get("histograms", {}).items():
+        if only_changed and all(entry[k]["delta"] == 0 for k in ("count", "sum")):
+            continue
+        for stat in ("count", "sum", "mean"):
+            sub = entry[stat]
+            label = f"{name}.{stat}" if stat != "count" else f"{name}.n"
+            rows.append(
+                f"{label:<46s} {_fmt(sub['before']):>14s} "
+                f"{_fmt(sub['after']):>14s} {_fmt_delta(sub['delta']):>14s} "
+                f"{_fmt_pct(sub['pct']):>8s}"
+            )
+    emit("histograms", rows)
+
+    if not lines:
+        return "(no differences)"
+    return "\n".join([header, ""] + lines).rstrip("\n")

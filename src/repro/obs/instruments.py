@@ -42,6 +42,7 @@ class Counter:
 
     @property
     def value(self) -> int:
+        """The current count."""
         return self._value
 
     def inc(self, by: int = 1) -> None:
@@ -65,15 +66,19 @@ class Gauge:
 
     @property
     def value(self) -> float:
+        """The current level."""
         return self._value
 
     def set(self, value: float) -> None:
+        """Replace the level outright."""
         self._value = float(value)
 
     def inc(self, by: float = 1.0) -> None:
+        """Raise the level by ``by``."""
         self._value += by
 
     def dec(self, by: float = 1.0) -> None:
+        """Lower the level by ``by``."""
         self._value -= by
 
     def __repr__(self) -> str:
@@ -116,22 +121,27 @@ class Histogram:
 
     @property
     def count(self) -> int:
+        """Samples observed so far."""
         return self._stats.count
 
     @property
     def mean(self) -> float:
+        """Exact running mean (Welford)."""
         return self._stats.mean
 
     @property
     def std_dev(self) -> float:
+        """Exact running standard deviation (Welford)."""
         return self._stats.std_dev
 
     @property
     def minimum(self) -> float:
+        """Smallest sample observed."""
         return self._stats.minimum
 
     @property
     def maximum(self) -> float:
+        """Largest sample observed."""
         return self._stats.maximum
 
     def summary(self) -> StatSummary:

@@ -40,6 +40,7 @@ class JournalRecord:
         return out
 
     def to_dict(self) -> dict:
+        """JSON-ready record form; ``from_dict`` round-trips it."""
         out: dict = {"time_ms": self.time_ms, "kind": self.kind}
         if self.topic is not None:
             out["topic"] = self.topic
@@ -53,6 +54,7 @@ class JournalRecord:
 
     @classmethod
     def from_dict(cls, data: Mapping) -> "JournalRecord":
+        """Rebuild a record from its :meth:`to_dict` form."""
         return cls(
             time_ms=float(data["time_ms"]),
             kind=str(data["kind"]),
@@ -95,6 +97,7 @@ class EventJournal:
         size_bytes: int | None = None,
         **fields,
     ) -> JournalRecord:
+        """Append (and return) one typed record at virtual time ``time_ms``."""
         entry = JournalRecord(
             time_ms=float(time_ms),
             kind=kind,
@@ -107,11 +110,13 @@ class EventJournal:
         return entry
 
     def append(self, entry: JournalRecord) -> None:
+        """Append an already-built record (imports, replays)."""
         self._records.append(entry)
 
     # -- reading ----------------------------------------------------------------
 
     def records(self, kind: str | None = None) -> list[JournalRecord]:
+        """All records, or just those of one ``kind``, in append order."""
         if kind is None:
             return list(self._records)
         return [r for r in self._records if r.kind == kind]
@@ -139,6 +144,7 @@ class EventJournal:
         return "\n".join(entry.render() for entry in selected)
 
     def export_json(self, indent: int = 2) -> str:
+        """The whole journal as a JSON array (``from_json`` round-trips)."""
         return json.dumps(
             [entry.to_dict() for entry in self._records],
             indent=indent,
@@ -148,6 +154,7 @@ class EventJournal:
 
     @classmethod
     def from_json(cls, text: str) -> "EventJournal":
+        """Rebuild a journal from an :meth:`export_json` document."""
         journal = cls()
         for data in json.loads(text):
             journal.append(JournalRecord.from_dict(data))

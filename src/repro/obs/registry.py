@@ -38,18 +38,21 @@ class MetricsRegistry:
                 )
 
     def counter(self, name: str) -> Counter:
+        """The counter called ``name``, created on first use."""
         if name not in self._counters:
             self._check_unique(name, self._counters)
             self._counters[name] = Counter(name)
         return self._counters[name]
 
     def gauge(self, name: str) -> Gauge:
+        """The gauge called ``name``, created on first use."""
         if name not in self._gauges:
             self._check_unique(name, self._gauges)
             self._gauges[name] = Gauge(name)
         return self._gauges[name]
 
     def histogram(self, name: str, bounds: tuple[float, ...] | None = None) -> Histogram:
+        """The histogram called ``name``, created on first use."""
         if name not in self._histograms:
             self._check_unique(name, self._histograms)
             self._histograms[name] = (
@@ -69,10 +72,12 @@ class MetricsRegistry:
         return counter.value if counter is not None else 0
 
     def gauge_value(self, name: str) -> float:
+        """Gauge level, 0.0 if the gauge was never created."""
         gauge = self._gauges.get(name)
         return gauge.value if gauge is not None else 0.0
 
     def names(self) -> list[str]:
+        """Every registered instrument name, sorted."""
         return sorted([*self._counters, *self._gauges, *self._histograms])
 
     def families(self) -> dict[str, list[str]]:
@@ -108,6 +113,7 @@ class MetricsRegistry:
         }
 
     def to_json(self, indent: int = 2) -> str:
+        """The :meth:`snapshot` dict as stable, sorted JSON."""
         return json.dumps(self.snapshot(), indent=indent, sort_keys=True)
 
     def render_text(self) -> str:

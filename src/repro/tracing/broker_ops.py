@@ -39,6 +39,7 @@ from repro.security.confidentiality import wrap_trace_body
 from repro.security.keydist import build_key_payload
 from repro.sim.engine import Event
 from repro.sim.monitor import Monitor
+from repro.tracing.coalesce import DEFAULT_COALESCE_WINDOW_MS, PingCoalescer
 from repro.tracing.failure import AdaptivePingPolicy, DetectorVerdict, FailureDetector
 from repro.tracing.interest import InterestCategory, InterestRegistry
 from repro.tracing.pings import Ping, PingResponse
@@ -97,6 +98,9 @@ class TraceManager:
         detector_factory=FailureDetector,
         ping_jitter_frac: float = 0.05,
         gate_by_interest: bool = True,
+        ping_coalescing: bool = False,
+        coalesce_window_ms: float = DEFAULT_COALESCE_WINDOW_MS,
+        client_locator=None,
     ) -> None:
         self.broker = broker
         self.sim = broker.sim
@@ -112,6 +116,16 @@ class TraceManager:
         self.ping_jitter_frac = ping_jitter_frac
         # section 3.5 gating; disable only for the EXP-A4 ablation
         self.gate_by_interest = gate_by_interest
+        # batch same-window pings to co-located entities into one frame;
+        # client_locator maps an entity id to its host (machine name) so
+        # the coalescer knows who shares a wire (docs/PERFORMANCE.md)
+        self.coalescer = (
+            PingCoalescer(
+                self, window_ms=coalesce_window_ms, locate_host=client_locator
+            )
+            if ping_coalescing
+            else None
+        )
         # installed by a fault controller; when present, FAILED verdicts
         # open a recovery window and successful registrations close it
         self.recovery_probe = None
@@ -594,16 +608,29 @@ class TraceManager:
                 # handle_broker_restart() clears the stale window then.
                 yield self.sim.timeout(session.current_interval_ms)
                 continue
-            ping = Ping(
-                number=session.next_ping_number(), issued_ms=self.machine.now()
-            )
-            session.history.record_ping(ping)
-            self._publish_plain(
-                session.topics.broker_to_entity(session.session_id).canonical,
-                ping.to_dict(),
-            )
-            self.monitor.increment("trace.pings_sent")
-            self.monitor.metrics.counter("tracker.pings.sent").inc()
+            if self.coalescer is not None:
+                # hand the due ping to the coalescer and sleep until its
+                # flush; the flush (scheduled first, so it fires first on
+                # the tie) issues, records and numbers the ping for us
+                delay = self.coalescer.submit(session)
+                if delay > 0.0:
+                    yield self.sim.timeout(delay)
+                if not session.active or session.declared_failed:
+                    break
+                if self.broker.failed:
+                    # died inside the flush window: nothing was issued
+                    continue
+            else:
+                ping = Ping(
+                    number=session.next_ping_number(), issued_ms=self.machine.now()
+                )
+                session.history.record_ping(ping)
+                self._publish_plain(
+                    session.topics.broker_to_entity(session.session_id).canonical,
+                    ping.to_dict(),
+                )
+                self.monitor.increment("trace.pings_sent")
+                self.monitor.metrics.counter("tracker.pings.sent").inc()
 
             # wait until this ping can be judged, but never longer than the
             # ping interval itself (a deadline above the interval must not
@@ -667,8 +694,11 @@ class TraceManager:
             remaining = max(0.0, session.current_interval_ms - judge_wait)
             if remaining:
                 # real schedulers drift: a few percent of timer jitter also
-                # keeps colocated sessions from phase-locking their bursts
-                if self.ping_jitter_frac:
+                # keeps colocated sessions from phase-locking their bursts.
+                # With the coalescer the flush slack plays that role instead,
+                # and phase lock is *wanted*: same-interval sessions flushed
+                # together stay merged and keep sharing one wire frame.
+                if self.ping_jitter_frac and self.coalescer is None:
                     remaining *= 1.0 + self.machine.rng.uniform(
                         -self.ping_jitter_frac, self.ping_jitter_frac
                     )

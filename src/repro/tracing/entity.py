@@ -244,10 +244,15 @@ class TracedEntity:
         self.broker_public_key = response.broker_public_key
         self.monitor.increment("entity.registered")
 
-        # subscribe to the broker->entity session topic for pings
+        # subscribe to the broker->entity session topic for pings, and
+        # register the host-level sink so pings multiplexed into a
+        # co-located sibling's ping_batch frame still reach this entity
         self.client.subscribe(
             self.topics.broker_to_entity(self.session_id), self._on_broker_message
         )
+        from repro.tracing.coalesce import register_ping_sink
+
+        register_ping_sink(self.machine, str(self.entity_id), self._on_relayed_ping)
 
     def _on_registration_response(self, message: Message) -> None:
         if self._registration_event is not None and not self._registration_event.triggered:
@@ -358,14 +363,28 @@ class TracedEntity:
 
     def _on_broker_message(self, message: Message) -> None:
         """Pings (and future broker-initiated control) arrive here."""
+        body = message.body
+        if isinstance(body, dict) and body.get("kind") == "ping_batch":
+            # host-level demultiplexing happens *before* the crash/silent
+            # check: the host agent relays co-located siblings' pings even
+            # when this entity's own process is down; each sink applies its
+            # own entity's liveness gates
+            from repro.tracing.coalesce import relay_ping_batch
+
+            relay_ping_batch(self.machine, body)
+            return
         if self._crashed or self._silent:
             return
-        body = message.body
         if isinstance(body, dict) and body.get("kind") == "ping":
-            ping = Ping.from_dict(body)
-            self.sim.process(
-                self._answer_ping(ping), name=f"entity.{self.entity_id}.pong"
-            )
+            self._on_relayed_ping(Ping.from_dict(body))
+
+    def _on_relayed_ping(self, ping: Ping) -> None:
+        """Answer one ping (direct or relayed) unless crashed or silent."""
+        if self._crashed or self._silent:
+            return
+        self.sim.process(
+            self._answer_ping(ping), name=f"entity.{self.entity_id}.pong"
+        )
 
     def _answer_ping(self, ping: Ping) -> Generator[Event, None, None]:
         response = PingResponse(

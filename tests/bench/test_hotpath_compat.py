@@ -1,0 +1,55 @@
+"""Compat gate: ``legacy_hot_paths=True`` reproduces the pre-optimization seeds.
+
+The hot-path pass (token verification cache + ping coalescing,
+docs/PERFORMANCE.md) re-seeded ``routing_seed.json`` and
+``chaos_seed.json`` under the optimized defaults.  The old snapshots were
+kept as ``*_legacy.json``, and this module proves the compat switch is
+real: running the same scenarios with both optimizations disabled must
+reproduce those legacy seeds exactly — bit-identical for the chaos
+scenario.  If this fails, the "off" path stopped being the old code
+path, which would silently invalidate every historical measurement.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench import routing_smoke
+from repro.faults import scenarios
+
+RESULTS = Path(__file__).resolve().parents[2] / "benchmarks" / "results"
+
+
+@pytest.fixture(scope="module")
+def legacy_routing_seed():
+    return json.loads((RESULTS / "routing_seed_legacy.json").read_text())
+
+
+@pytest.fixture(scope="module")
+def legacy_chaos_seed():
+    return json.loads((RESULTS / "chaos_seed_legacy.json").read_text())
+
+
+def test_routing_smoke_legacy_mode_matches_legacy_seed(legacy_routing_seed):
+    live = routing_smoke.run_routing_smoke(legacy_hot_paths=True)
+    assert routing_smoke.render_snapshot(live) == routing_smoke.render_snapshot(
+        legacy_routing_seed
+    )
+
+
+def test_chaos_scenario_legacy_mode_matches_legacy_seed(legacy_chaos_seed):
+    live = scenarios.run_scenario("broker-crash", legacy_hot_paths=True)
+    findings = scenarios.compare_to_seed(live, legacy_chaos_seed)
+    assert not findings, "\n".join(findings)
+    assert scenarios.render_snapshot(live) == scenarios.render_snapshot(
+        legacy_chaos_seed
+    )
+
+
+def test_legacy_and_default_seeds_differ():
+    """The optimizations actually change the wire profile (else the
+    legacy snapshots and this whole gate would be dead weight)."""
+    default = json.loads((RESULTS / "chaos_seed.json").read_text())
+    legacy = json.loads((RESULTS / "chaos_seed_legacy.json").read_text())
+    assert default["counters"] != legacy["counters"]

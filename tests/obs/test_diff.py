@@ -1,0 +1,104 @@
+"""Tests for snapshot diffing (repro.obs.diff)."""
+
+import json
+
+import pytest
+
+from repro.errors import SerializationError
+from repro.obs import MetricsRegistry, diff_snapshots, load_snapshot, render_diff
+
+
+def snap(counters=None, gauges=None, histograms=None):
+    return {
+        "counters": counters or {},
+        "gauges": gauges or {},
+        "histograms": histograms or {},
+    }
+
+
+class TestLoadSnapshot:
+    def test_loads_registry_snapshot(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("broker.msgs.delivered").inc(3)
+        path = tmp_path / "snap.json"
+        path.write_text(json.dumps(registry.snapshot()))
+        loaded = load_snapshot(str(path))
+        assert loaded["counters"]["broker.msgs.delivered"] == 3
+
+    def test_unwraps_bench_wrapper_and_normalizes_sections(self, tmp_path):
+        path = tmp_path / "wrapped.json"
+        path.write_text(json.dumps({"snapshot": {"counters": {"x.y": 1}}}))
+        loaded = load_snapshot(str(path))
+        assert loaded["counters"] == {"x.y": 1}
+        assert loaded["gauges"] == {} and loaded["histograms"] == {}
+
+    def test_missing_file_and_bad_json_raise_taxonomy_errors(self, tmp_path):
+        with pytest.raises(SerializationError):
+            load_snapshot(str(tmp_path / "absent.json"))
+        bad = tmp_path / "bad.json"
+        bad.write_text("{nope")
+        with pytest.raises(SerializationError):
+            load_snapshot(str(bad))
+        arr = tmp_path / "arr.json"
+        arr.write_text("[1, 2]")
+        with pytest.raises(SerializationError):
+            load_snapshot(str(arr))
+
+
+class TestDiffSnapshots:
+    def test_counter_delta_and_pct(self):
+        diff = diff_snapshots(
+            snap(counters={"a.b": 10}), snap(counters={"a.b": 4})
+        )
+        entry = diff["counters"]["a.b"]
+        assert entry == {"before": 10.0, "after": 4.0, "delta": -6.0, "pct": -60.0}
+
+    def test_union_of_names_zero_fills(self):
+        diff = diff_snapshots(
+            snap(counters={"only.before": 2}), snap(counters={"only.after": 3})
+        )
+        assert diff["counters"]["only.before"]["after"] == 0.0
+        assert diff["counters"]["only.after"]["before"] == 0.0
+        # no baseline -> no percentage
+        assert diff["counters"]["only.after"]["pct"] is None
+
+    def test_histograms_compared_on_count_sum_mean(self):
+        before = snap(histograms={"h.ms": {"count": 10, "mean": 2.0}})
+        after = snap(histograms={"h.ms": {"count": 4, "mean": 2.5}})
+        entry = diff_snapshots(before, after)["histograms"]["h.ms"]
+        assert entry["count"]["delta"] == -6.0
+        assert entry["sum"]["before"] == 20.0
+        assert entry["sum"]["after"] == 10.0
+        assert entry["mean"]["delta"] == 0.5
+
+    def test_empty_histogram_reads_as_zero(self):
+        entry = diff_snapshots(
+            snap(), snap(histograms={"h.ms": {"count": 0}})
+        )["histograms"]["h.ms"]
+        assert entry["sum"] == {"before": 0.0, "after": 0.0, "delta": 0.0, "pct": None}
+
+
+class TestRenderDiff:
+    def test_only_changed_drops_flat_rows(self):
+        diff = diff_snapshots(
+            snap(counters={"same.x": 5, "moved.y": 1}),
+            snap(counters={"same.x": 5, "moved.y": 3}),
+        )
+        table = render_diff(diff)
+        assert "moved.y" in table and "same.x" not in table
+        assert "+2" in table and "+200.0%" in table
+
+    def test_all_rows_when_requested(self):
+        diff = diff_snapshots(snap(counters={"same.x": 5}), snap(counters={"same.x": 5}))
+        assert "same.x" in render_diff(diff, only_changed=False)
+
+    def test_no_differences_placeholder(self):
+        assert render_diff(diff_snapshots(snap(), snap())) == "(no differences)"
+
+    def test_histogram_rows_labelled_by_stat(self):
+        diff = diff_snapshots(
+            snap(histograms={"h.ms": {"count": 2, "mean": 1.0}}),
+            snap(histograms={"h.ms": {"count": 3, "mean": 1.0}}),
+        )
+        table = render_diff(diff)
+        assert "h.ms.n" in table and "h.ms.sum" in table and "h.ms.mean" in table

@@ -35,6 +35,12 @@ def test_analyze_job_runs_domain_linter(workflow):
     assert any("repro analyze src" in run for run in runs)
 
 
+def test_analyze_job_runs_doc_gates(workflow):
+    runs = [step.get("run") or "" for step in workflow["jobs"]["analyze"]["steps"]]
+    assert any("tools/check_metric_docs.py" in run for run in runs)
+    assert any("tools/check_docstrings.py" in run for run in runs)
+
+
 def test_test_matrix_covers_supported_pythons(workflow):
     matrix = workflow["jobs"]["test"]["strategy"]["matrix"]
     assert matrix["python-version"] == ["3.10", "3.11", "3.12"]

@@ -63,6 +63,14 @@ class TestExamples:
         assert "detection -> re-registration latency" in out
         assert "after the crash" in out
 
+    def test_perf_diff(self, capsys):
+        out = run_example("perf_diff.py", capsys)
+        assert "token verification cost" in out
+        assert "% less" in out
+        assert "before/after diff table:" in out
+        assert "crypto.ms.token_verify" in out
+        assert "auth.token.cache.hit" in out
+
     def test_live_dashboard(self, capsys):
         # patch the playback speed before execution so the test stays quick
         path = EXAMPLES / "live_dashboard.py"

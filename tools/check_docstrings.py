@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Docstring-coverage gate for the packages perf work leans on.
+
+Every *public* module, class, function and method in the covered
+packages must carry a docstring: these are the modules docs/API.md and
+docs/PERFORMANCE.md send readers into, so an undocumented public surface
+there is a doc bug, not a style nit.
+
+Public means: name without a leading underscore, reachable from a module
+whose own path has no underscore-private segment.  Dunder methods other
+than ``__init__`` are exempt (their contracts are the language's);
+``__init__`` is exempt too when its class is documented — the class
+docstring is where constructor semantics live in this codebase.
+
+Exit status 0 when covered packages are fully documented; 1 with a
+finding list otherwise (CI's ``analyze`` job runs this).
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+SRC = REPO / "src" / "repro"
+
+#: Packages under src/repro the gate covers.
+COVERED = ("auth", "obs", "faults")
+
+
+def _is_public(name: str) -> bool:
+    return not name.startswith("_")
+
+
+def _check_functions(
+    parent: ast.AST, path: pathlib.Path, findings: list[str], prefix: str = ""
+) -> None:
+    for node in ast.iter_child_nodes(parent):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if not _is_public(node.name):
+                continue
+            if ast.get_docstring(node) is None:
+                findings.append(
+                    f"{path.relative_to(REPO)}:{node.lineno}: public "
+                    f"function {prefix}{node.name}() has no docstring"
+                )
+        elif isinstance(node, ast.ClassDef):
+            if not _is_public(node.name):
+                continue
+            if ast.get_docstring(node) is None:
+                findings.append(
+                    f"{path.relative_to(REPO)}:{node.lineno}: public "
+                    f"class {node.name} has no docstring"
+                )
+            _check_functions(node, path, findings, prefix=f"{node.name}.")
+
+
+def main() -> int:
+    findings: list[str] = []
+    total = 0
+    for package in COVERED:
+        for path in sorted((SRC / package).rglob("*.py")):
+            total += 1
+            tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+            if ast.get_docstring(tree) is None:
+                findings.append(
+                    f"{path.relative_to(REPO)}:1: module has no docstring"
+                )
+            _check_functions(tree, path, findings)
+    for finding in findings:
+        print(f"DOCSTRINGS: {finding}")
+    if not findings:
+        packages = ", ".join(f"repro.{p}" for p in COVERED)
+        print(f"docstrings clean: {total} modules across {packages}")
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
