@@ -1,0 +1,88 @@
+"""Hot-path before/after benchmark: pluggable wire codecs.
+
+Runs the ping-heavy co-located scenario (``repro.bench.hotpath``) twice
+from the same seed — once under the legacy-equivalent ``json`` codec and
+once under the ``compact`` binary codec — and commits both registry
+snapshots plus their rendered diff under ``benchmarks/results/``:
+
+* ``wire_codec_before.json`` / ``wire_codec_after.json`` — full
+  snapshots, diffable any time with
+  ``repro metrics --diff wire_codec_before.json wire_codec_after.json``;
+  the ``perf-gate`` CI job replays the scenario against these baselines
+  (``python -m repro.bench.perf_gate``).
+* ``wire_codec_diff.txt`` — the rendered per-instrument delta table
+
+The assertions encode the acceptance bar from docs/WIRE_FORMAT.md: the
+compact codec must cut ``transport.bytes.sent`` by at least 25 %, the
+size memo must absorb broker re-encodes, and detection behaviour must
+stay identical across codecs (no false failure verdicts either way).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from conftest import run_once
+
+from repro.bench.hotpath import run_ping_heavy
+from repro.bench.perf_gate import check_regressions
+from repro.obs import diff_snapshots, render_diff
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+SEED = 42
+DURATION_MS = 60_000.0
+
+
+def _write_snapshot(name: str, snapshot: dict) -> None:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+
+
+def test_compact_codec_pays_off(benchmark, report):
+    before = run_ping_heavy(seed=SEED, duration_ms=DURATION_MS, codec="json")
+    after = run_once(
+        benchmark, run_ping_heavy, seed=SEED, duration_ms=DURATION_MS, codec="compact"
+    )
+    _write_snapshot("wire_codec_before", before)
+    _write_snapshot("wire_codec_after", after)
+
+    diff = diff_snapshots(before, after)
+    table = render_diff(diff)
+    (RESULTS_DIR / "wire_codec_diff.txt").write_text(table + "\n")
+
+    bytes_before = before["counters"]["transport.bytes.sent"]
+    bytes_after = after["counters"]["transport.bytes.sent"]
+    memo_hits = after["counters"].get("codec.encode.memo.hit", 0)
+    memo_misses = after["counters"].get("codec.encode.memo.miss", 0)
+
+    report(
+        "bench_wire_codec",
+        "\n".join(
+            [
+                "wire codec swap (ping-heavy co-located scenario)",
+                f"  seed={SEED} duration={DURATION_MS:.0f}ms",
+                f"  transport.bytes.sent: {bytes_before} -> {bytes_after} "
+                f"({100.0 * (1.0 - bytes_after / bytes_before):.1f}% less)",
+                f"  codec.encode.memo: hit={memo_hits} miss={memo_misses}",
+                "",
+                table,
+            ]
+        ),
+    )
+
+    # acceptance bar (ISSUE 6 / docs/WIRE_FORMAT.md): >= 25% byte cut
+    assert bytes_after <= 0.75 * bytes_before
+    # the memo must absorb broker re-encodes: every forwarded frame hits
+    assert memo_hits >= after["counters"]["broker.msgs.forwarded_out"]
+    # the perf gate built from these baselines passes against themselves
+    assert check_regressions(before, before) == []
+    assert check_regressions(after, after) == []
+    # a codec swap must never change detection semantics
+    for side in (before, after):
+        latency = side["histograms"].get(
+            "tracker.detection.latency_ms", {"count": 0}
+        )
+        assert latency.get("count", 0) == 0

@@ -21,8 +21,10 @@ KNOWN_FAMILIES = frozenset(
         "analysis",
         "auth",
         "broker",
+        "codec",
         "crypto",
         "faults",
+        "frame",
         "tdn",
         "trace",
         "tracker",

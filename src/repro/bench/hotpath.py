@@ -40,12 +40,17 @@ def run_ping_heavy(
     duration_ms: float = 60_000.0,
     entity_count: int = DEFAULT_ENTITY_COUNT,
     legacy_hot_paths: bool = False,
+    codec: str = "json",
 ) -> dict:
     """Run the co-located ping-heavy scenario; returns the full snapshot.
 
-    ``legacy_hot_paths`` disables the token-verification cache and ping
-    coalescing so the same seed reproduces the pre-optimization cost
-    profile (the "before" side of a perf diff).
+    ``legacy_hot_paths`` disables the token-verification cache, ping
+    coalescing and the TDN discovery cache so the same seed reproduces the
+    pre-optimization cost profile (the "before" side of a perf diff).
+
+    ``codec`` selects the wire codec explicitly (never the environment):
+    the perf-gate CI job runs this scenario once per codec and diffs the
+    snapshots, so the codec must be a function argument, not ambient state.
     """
     from repro import build_deployment
 
@@ -56,6 +61,8 @@ def run_ping_heavy(
         ping_policy=HOTPATH_PING_POLICY,
         token_cache=not legacy_hot_paths,
         ping_coalescing=not legacy_hot_paths,
+        tdn_query_cache=not legacy_hot_paths,
+        codec=codec,
     )
     entities = [
         dep.add_traced_entity(f"svc-{index:02d}", machine_name=EDGE_HOST)

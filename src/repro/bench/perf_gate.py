@@ -1,0 +1,121 @@
+"""The perf-regression gate CI runs over wire-codec snapshots.
+
+The ``perf-gate`` job replays the ping-heavy scenario under each codec and
+compares the resulting metrics snapshots against the committed baselines
+(``benchmarks/results/wire_codec_before.json`` for ``json``,
+``wire_codec_after.json`` for ``compact``).  Any *increase* beyond a small
+tolerance in a gated metric fails the job; improvements always pass.
+
+Gated metrics (the hot-path cost triangle):
+
+* ``transport.bytes.sent`` — total wire bytes (the codec win itself),
+* ``broker.fanout`` — forwarding work per publish (histogram sum),
+* ``crypto.ms.token_verify`` — verification cost the token cache already
+  bought down (histogram sum; a regression here means the cache stopped
+  biting).
+
+The scenario is bit-deterministic per seed, so the tolerance only absorbs
+legitimate cross-version float formatting, not nondeterminism — a real
+regression overshoots 2% immediately because every frame pays it.
+"""
+
+from __future__ import annotations
+
+from repro.obs.diff import diff_snapshots, load_snapshot
+
+#: Counters gated on their final value.
+GATED_COUNTERS = ("transport.bytes.sent",)
+
+#: Histograms gated on their reproducible ``sum`` aggregate.
+GATED_HISTOGRAMS = ("broker.fanout", "crypto.ms.token_verify")
+
+#: Relative headroom before an increase counts as a regression.
+DEFAULT_TOLERANCE_PCT = 2.0
+
+
+def check_regressions(
+    baseline: dict,
+    current: dict,
+    tolerance_pct: float = DEFAULT_TOLERANCE_PCT,
+) -> list[str]:
+    """Human-readable findings for every gated metric that regressed.
+
+    ``baseline`` / ``current`` are snapshot dicts (as produced by
+    :meth:`MetricsRegistry.snapshot` or normalized by
+    :func:`repro.obs.diff.load_snapshot`).  Empty list means the gate
+    passes.  Only increases fail — a metric falling below baseline is the
+    point of the exercise.
+    """
+    findings: list[str] = []
+    diff = diff_snapshots(baseline, current)
+
+    def check(name: str, entry: dict, what: str) -> None:
+        before, after = entry["before"], entry["after"]
+        if before <= 0:
+            if after > 0:
+                findings.append(
+                    f"{name} {what} appeared: baseline 0, now {after:g}"
+                )
+            return
+        limit = before * (1.0 + tolerance_pct / 100.0)
+        if after > limit:
+            pct = 100.0 * (after - before) / before
+            findings.append(
+                f"{name} {what} regressed {pct:+.2f}% "
+                f"({before:g} -> {after:g}, tolerance {tolerance_pct:g}%)"
+            )
+
+    for name in GATED_COUNTERS:
+        check(name, diff["counters"][name], "counter")
+    for name in GATED_HISTOGRAMS:
+        check(name, diff["histograms"][name]["sum"], "histogram sum")
+    return findings
+
+
+def run_gate(
+    baseline_path: str,
+    codec: str,
+    tolerance_pct: float = DEFAULT_TOLERANCE_PCT,
+    seed: int = 42,
+) -> list[str]:
+    """Replay ping-heavy under ``codec`` and gate it against a baseline file."""
+    from repro.bench.hotpath import run_ping_heavy
+
+    baseline = load_snapshot(baseline_path)
+    current = run_ping_heavy(seed=seed, codec=codec)
+    return check_regressions(baseline, current, tolerance_pct)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI used by the ``perf-gate`` CI job.
+
+    ``python -m repro.bench.perf_gate BASELINE --codec NAME`` exits 1 and
+    prints findings when the live run regresses past tolerance.
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", help="committed snapshot JSON to gate against")
+    parser.add_argument("--codec", default="json", help="wire codec to run under")
+    parser.add_argument(
+        "--tolerance", type=float, default=DEFAULT_TOLERANCE_PCT,
+        help="allowed regression in percent (default %(default)s)",
+    )
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args(argv)
+
+    findings = run_gate(
+        args.baseline, args.codec, tolerance_pct=args.tolerance, seed=args.seed
+    )
+    for finding in findings:
+        print(f"PERF-GATE: {finding}")
+    if not findings:
+        print(
+            f"perf gate clean: codec={args.codec} vs {args.baseline} "
+            f"(tolerance {args.tolerance:g}%)"
+        )
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

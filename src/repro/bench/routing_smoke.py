@@ -90,9 +90,11 @@ def run_routing_smoke(
 ) -> dict:
     """Run the scenario and return the routing counters as a snapshot dict.
 
-    ``legacy_hot_paths`` disables the token-verification cache and ping
-    coalescing (docs/PERFORMANCE.md), reproducing the pre-optimization
-    wire behaviour pinned by ``benchmarks/results/routing_seed_legacy.json``.
+    ``legacy_hot_paths`` disables the token-verification cache, ping
+    coalescing and the TDN discovery cache (docs/PERFORMANCE.md),
+    reproducing the pre-optimization wire behaviour pinned by
+    ``benchmarks/results/routing_seed_legacy.json``.  The codec is pinned
+    to ``json`` so committed seeds stay valid under the CI codec matrix.
     """
     from repro import build_deployment
 
@@ -101,6 +103,8 @@ def run_routing_smoke(
         seed=seed,
         token_cache=not legacy_hot_paths,
         ping_coalescing=not legacy_hot_paths,
+        tdn_query_cache=not legacy_hot_paths,
+        codec="json",
     )
     entity = dep.add_traced_entity("demo-service")
     tracker = dep.add_tracker("demo-tracker")

@@ -100,6 +100,15 @@ def _cmd_metrics(args) -> int:
         print(render_snapshot(snapshot), end="")
         return 0
 
+    if args.ping_heavy:
+        import json as _json
+
+        from repro.bench.hotpath import run_ping_heavy
+
+        snapshot = run_ping_heavy(seed=args.seed, codec=args.codec)
+        print(_json.dumps(snapshot, indent=2, sort_keys=True))
+        return 0
+
     dep = build_deployment(broker_ids=["b1", "b2", "b3"], seed=args.seed)
     entity = dep.add_traced_entity("demo-service")
     tracker = dep.add_tracker("demo-tracker")
@@ -402,6 +411,14 @@ def build_parser() -> argparse.ArgumentParser:
                          help="run the deterministic routing smoke scenario "
                               "(quickstart + detach) and emit its routing-"
                               "counter snapshot as JSON")
+    metrics.add_argument("--ping-heavy", action="store_true",
+                         help="run the ping-heavy hot-path scenario "
+                              "(repro.bench.hotpath) and emit the full "
+                              "metrics snapshot as JSON; combine with "
+                              "--codec to compare wire codecs")
+    metrics.add_argument("--codec", default="json",
+                         help="wire codec for --ping-heavy (a repro.wire "
+                              "registry name; default %(default)s)")
     metrics.add_argument("--diff", nargs=2, metavar=("BEFORE", "AFTER"),
                          default=None,
                          help="instead of simulating, diff two snapshot JSON "

@@ -9,6 +9,7 @@ benchmarks and examples all build on this.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping
 
@@ -172,6 +173,8 @@ def build_deployment(
     token_cache: bool = True,
     token_cache_capacity: int = DEFAULT_TOKEN_CACHE_CAPACITY,
     ping_coalescing: bool = True,
+    codec: str | None = None,
+    tdn_query_cache: bool = True,
 ) -> Deployment:
     """Build a complete deployment.
 
@@ -179,13 +182,29 @@ def build_deployment(
     ``"star"`` (first broker is the hub), or ``"none"`` (add links via
     ``extra_links`` only).
 
-    ``token_cache`` and ``ping_coalescing`` toggle the hot-path
-    optimizations of docs/PERFORMANCE.md (the token-verification LRU and
-    batched pings to co-located entities).  Both default on; passing
-    ``False`` for both reproduces the pre-optimization wire behaviour
-    bit-for-bit, which is what the legacy seed snapshots under
-    ``benchmarks/results/*_legacy.json`` pin.
+    ``token_cache``, ``ping_coalescing`` and ``tdn_query_cache`` toggle the
+    hot-path optimizations of docs/PERFORMANCE.md (the token-verification
+    LRU, batched pings to co-located entities, and the TDN discovery
+    cache).  All default on; disabling them reproduces the
+    pre-optimization wire behaviour bit-for-bit, which is what the legacy
+    seed snapshots under ``benchmarks/results/*_legacy.json`` pin.
+
+    ``codec`` names the wire codec every link sizes payloads with
+    (``repro.wire``): an explicit argument wins, then the ``REPRO_CODEC``
+    environment variable (the CI codec matrix), then the transport
+    profile's own ``codec`` field, then ``json``.  Harnesses that compare
+    against committed seed snapshots pin ``codec="json"`` explicitly.
     """
+    from repro.wire.codec import CODEC_ENV_VAR, get_codec
+
+    resolved_codec = codec
+    if resolved_codec is None:
+        # None (not "json") when the environment is silent, so a profile's
+        # own codec field still applies as the next fallback tier.
+        resolved_codec = os.environ.get(CODEC_ENV_VAR, "").strip() or None
+    if resolved_codec is not None:
+        get_codec(resolved_codec)  # fail fast on unknown names
+
     sim = Simulator()
     monitor = Monitor()
     network = BrokerNetwork(
@@ -196,6 +215,7 @@ def build_deployment(
         cost_calibration=cost_calibration,
         cost_scale=cost_scale,
         ntp_model=ntp_model,
+        codec=resolved_codec,
     )
 
     ids = list(broker_ids)
@@ -218,6 +238,7 @@ def build_deployment(
     tdn = TDNCluster(
         sim, ca, tdn_machines, monitor=monitor,
         uuid_seed=network.streams.derive_seed("tdn-uuids"),
+        query_cache=tdn_query_cache,
     )
 
     trusted_keys = tdn_public_keys(tdn)

@@ -159,10 +159,14 @@ def scenario_plan(name: str) -> FaultPlan:
 def build_chaos_deployment(seed: int = 42, legacy_hot_paths: bool = False):
     """The shared three-broker-ring deployment every scenario runs on.
 
-    ``legacy_hot_paths`` disables the token-verification cache and ping
-    coalescing (docs/PERFORMANCE.md) so the run reproduces the
-    pre-optimization behaviour pinned by
+    ``legacy_hot_paths`` disables the token-verification cache, ping
+    coalescing and the TDN discovery cache (docs/PERFORMANCE.md) so the
+    run reproduces the pre-optimization behaviour pinned by
     ``benchmarks/results/chaos_seed_legacy.json``.
+
+    The codec is pinned to ``json`` regardless of ``REPRO_CODEC``: chaos
+    snapshots are compared bit-for-bit against committed seeds, and those
+    seeds encode json wire sizes.
     """
     from repro import build_deployment
 
@@ -173,6 +177,8 @@ def build_chaos_deployment(seed: int = 42, legacy_hot_paths: bool = False):
         extra_links=[("b1", "b3")],
         token_cache=not legacy_hot_paths,
         ping_coalescing=not legacy_hot_paths,
+        tdn_query_cache=not legacy_hot_paths,
+        codec="json",
     )
     return dep
 

@@ -14,7 +14,7 @@ from repro.messaging.constrained import (
     Distribution,
     is_constrained,
 )
-from repro.messaging.message import Message
+from repro.messaging.message import Message, RoutedFrame
 from repro.messaging.matching import SubscriptionIndex
 from repro.messaging.broker import Broker
 from repro.messaging.client import BrokerClient
@@ -31,6 +31,7 @@ __all__ = [
     "Distribution",
     "is_constrained",
     "Message",
+    "RoutedFrame",
     "SubscriptionIndex",
     "Broker",
     "BrokerClient",

@@ -20,7 +20,6 @@ deterministic shortest-path multicast with no duplicates or loops.
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass
 from typing import Callable, Generator, Iterable, Protocol
 
 from repro.errors import NotConnectedError, RoutingError, UnauthorizedError
@@ -30,7 +29,7 @@ from repro.messaging.constrained import (
     is_constrained,
 )
 from repro.messaging.matching import SubscriptionIndex
-from repro.messaging.message import Message
+from repro.messaging.message import Message, RoutedFrame
 from repro.messaging.topics import Topic, topic_matches
 from repro.sim.engine import Event, Simulator
 from repro.sim.machine import Machine
@@ -77,17 +76,13 @@ class PublishGuard(Protocol):
     ) -> Generator[Event, None, bool]: ...
 
 
-@dataclass(frozen=True, slots=True)
-class RoutedFrame:
-    """Broker-to-broker envelope: a message plus remaining destinations."""
-
-    message: Message
-    destinations: tuple[str, ...]
-
-    def wire_dict(self) -> dict:
-        frame = self.message.wire_dict()
-        frame["destinations"] = list(self.destinations)
-        return frame
+__all__ = [
+    "Broker",
+    "PublishGuard",
+    "RoutedFrame",  # moved to messaging/message.py; re-exported for compat
+    "iter_matching_patterns",
+    "topic_family",
+]
 
 
 class Broker:

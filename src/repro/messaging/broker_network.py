@@ -41,11 +41,15 @@ class BrokerNetwork:
         cost_calibration: Mapping[CryptoOp, OpCost] | None = None,
         cost_scale: float = 1.0,
         ntp_model: NTPSkewModel | None = None,
+        codec: str | None = None,
     ) -> None:
         self.sim = sim
         self.streams = RandomStreams(seed)
         self.monitor = monitor or Monitor()
         self.default_profile = default_profile
+        #: Wire codec name for every link this fabric creates; ``None``
+        #: falls through to each profile's ``codec`` and then ``json``.
+        self.codec = codec
         self._cost_calibration = dict(cost_calibration or PAPER_CALIBRATION)
         self._cost_scale = cost_scale
         self._ntp_model = ntp_model
@@ -149,12 +153,12 @@ class BrokerNetwork:
         link_ab = Link(
             self.sim, prof,
             receiver=lambda frame: broker_b.receive_from_neighbor(a, frame),
-            rng=rng, name=f"{a}->{b}", monitor=self.monitor,
+            rng=rng, name=f"{a}->{b}", monitor=self.monitor, codec=self.codec,
         )
         link_ba = Link(
             self.sim, prof,
             receiver=lambda frame: broker_a.receive_from_neighbor(b, frame),
-            rng=rng, name=f"{b}->{a}", monitor=self.monitor,
+            rng=rng, name=f"{b}->{a}", monitor=self.monitor, codec=self.codec,
         )
         broker_a.attach_neighbor(b, link_ab)
         broker_b.attach_neighbor(a, link_ba)
@@ -222,11 +226,13 @@ class BrokerNetwork:
             self.sim, prof,
             receiver=lambda msg, c=client.client_id: broker.receive_from_client(c, msg),
             rng=rng, name=f"{client.client_id}->{broker_id}", monitor=self.monitor,
+            codec=self.codec,
         )
         to_client = Link(
             self.sim, prof,
             receiver=client._receive,
             rng=rng, name=f"{broker_id}->{client.client_id}", monitor=self.monitor,
+            codec=self.codec,
         )
         broker.attach_client(client.client_id, to_client)
         client.attach(broker, to_broker)

@@ -5,17 +5,39 @@ All messages contain topic information, which forms the basis of routing
 tracing scheme attaches: an optional signature envelope (section 4.2), an
 optional authorization token (section 4.3), and an encrypted-body flag
 (section 5.1).
+
+The broker-to-broker forwarding envelope (:class:`RoutedFrame`) lives here
+too: it is pure wire vocabulary — a message plus its remaining explicit
+destinations — shared by the broker (which splits it per next hop) and the
+``repro.wire`` codecs (which put it on the wire).
 """
 
 from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass, field, replace
-from typing import Any
+from typing import Any, Callable
 
 from repro.messaging.topics import Topic
 
 _message_ids = itertools.count(1)
+
+#: Callbacks invoked by :func:`reset_message_ids`.  Caches keyed by message
+#: id (the ``repro.wire`` encoded-size memo) register here so a rewound id
+#: counter can never alias a stale entry onto a fresh message.
+_reset_hooks: list[Callable[[], None]] = []
+
+
+def register_reset_hook(hook: Callable[[], None]) -> None:
+    """Run ``hook`` whenever the message-id counter is rewound.
+
+    Message ids are unique per process *until* a deterministic-replay
+    harness calls :func:`reset_message_ids`; any cache keyed by message id
+    must be dropped at that moment.  Registering the same hook twice is a
+    no-op.
+    """
+    if hook not in _reset_hooks:
+        _reset_hooks.append(hook)
 
 
 def reset_message_ids(start: int = 1) -> None:
@@ -27,9 +49,14 @@ def reset_message_ids(start: int = 1) -> None:
     (``repro.faults.run_scenario``) must rewind the counter before each run;
     otherwise the timeline depends on how many messages earlier deployments
     in the same process happened to create.
+
+    Also fires every :func:`register_reset_hook` callback, which clears the
+    message-id-keyed encoded-size memo in ``repro.wire``.
     """
     global _message_ids
     _message_ids = itertools.count(start)
+    for hook in _reset_hooks:
+        hook()
 
 
 @dataclass(frozen=True, slots=True)
@@ -54,7 +81,13 @@ class Message:
     hops: int = 0
 
     def wire_dict(self) -> dict:
-        """Canonical rendering used for wire-size accounting."""
+        """Canonical rendering used for wire-size accounting.
+
+        ``hops`` is deliberately absent: it is link-local diagnostics, not
+        payload, so a forwarded copy (:meth:`with_hop`) encodes to exactly
+        the same bytes — which is what makes the per-message encoded-size
+        memo in ``repro.wire`` safe.
+        """
         return {
             "topic": self.topic.canonical,
             "body": self.body,
@@ -75,3 +108,16 @@ class Message:
             f"Message(id={self.message_id}, topic={self.topic}, "
             f"source={self.source!r}, hops={self.hops})"
         )
+
+
+@dataclass(frozen=True, slots=True)
+class RoutedFrame:
+    """Broker-to-broker envelope: a message plus remaining destinations."""
+
+    message: Message
+    destinations: tuple[str, ...]
+
+    def wire_dict(self) -> dict:
+        frame = self.message.wire_dict()
+        frame["destinations"] = list(self.destinations)
+        return frame

@@ -1,0 +1,106 @@
+"""Discovery-result cache for TDN nodes.
+
+Trackers re-discover the same descriptors with the same credentials every
+time they (re)subscribe, and each answer costs the TDN a store scan plus
+one ``CERT_VERIFY`` charge per candidate advertisement (section 3.1's
+authorization check).  A :class:`DiscoveryCache` in front of the query path
+short-circuits the repeat work while preserving the protocol's observable
+behaviour:
+
+* **Invalidation on advertisement change** — every entry records the
+  :class:`~repro.tdn.registry.AdvertisementStore` version at fill time;
+  any ``put``/``remove`` (including lazy expiry reaping) bumps the version
+  and silently invalidates all cached answers.
+* **Time-bounded validity** — an entry expires at the earliest of the
+  returned advertisements' lifetime ends and the requesting certificate's
+  ``not_after_ms``; simulated time is monotonic, so a permit verified at
+  fill time cannot have lapsed before then.
+* **Positive answers only** — empty/ignored results are never cached, so
+  the "silently ignore unauthorized requests" contract keeps consulting
+  the live store (an entity that just gained authorization is never
+  masked by a stale negative).
+
+The *service delay* of a query is still paid on a hit — the requester
+still makes a network round trip; only the store scan and the per-candidate
+certificate verifications are saved.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any
+
+DEFAULT_DISCOVERY_CACHE_CAPACITY = 256
+
+#: Sentinel distinguishing "no cached entry" from a cached empty answer
+#: (the latter is never stored, but the lookup contract stays explicit).
+MISS = object()
+
+
+class DiscoveryCache:
+    """Bounded LRU of positive discovery answers keyed by (query, cert)."""
+
+    def __init__(self, capacity: int = DEFAULT_DISCOVERY_CACHE_CAPACITY) -> None:
+        self.capacity = capacity
+        self._entries: OrderedDict[tuple, tuple[int, float, Any]] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @staticmethod
+    def key(kind: str, descriptor: str, credentials: Any) -> tuple:
+        """Cache key for one query: the flavour, target, and requester.
+
+        ``credentials`` is the presented :class:`Certificate` (or ``None``
+        — permitted only by unrestricted topics, still keyable).  Subject
+        plus serial pins the exact certificate, so a re-issued credential
+        never aliases onto its predecessor's cached answer.
+        """
+        if credentials is None:
+            return (kind, descriptor, None)
+        return (kind, descriptor, credentials.subject, credentials.serial)
+
+    def lookup(self, key: tuple, store_version: int, now_ms: float) -> Any:
+        """Cached answer, or :data:`MISS`.
+
+        A hit requires the store to be untouched since fill time and the
+        entry's validity horizon to still be ahead of ``now_ms``.
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return MISS
+        version, valid_until_ms, result = entry
+        if version != store_version or now_ms > valid_until_ms:
+            del self._entries[key]
+            self.invalidations += 1
+            self.misses += 1
+            return MISS
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return result
+
+    def store(
+        self, key: tuple, store_version: int, valid_until_ms: float, result: Any
+    ) -> None:
+        """Remember a positive answer until the store changes or it expires."""
+        self._entries[key] = (store_version, valid_until_ms, result)
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every entry (e.g. when a TDN node recovers from failure)."""
+        self._entries.clear()
+
+    def stats(self) -> dict[str, int]:
+        """Counter snapshot for reports and tests."""
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "invalidations": self.invalidations,
+        }

@@ -29,9 +29,25 @@ from repro.tdn.advertisement import (
     TopicCreationRequest,
     TopicLifetime,
 )
+from repro.tdn.cache import MISS, DiscoveryCache
 from repro.tdn.query import DiscoveryQuery
 from repro.tdn.registry import AdvertisementStore
 from repro.util.identifiers import UUIDGenerator
+
+
+def _cache_horizon_ms(
+    advertisements: list[TopicAdvertisement], credentials
+) -> float:
+    """Earliest instant a cached positive answer could stop being true.
+
+    The answer holds while every returned advertisement is still alive and
+    the requester's certificate has not expired; any store mutation is
+    handled separately via the store version.
+    """
+    horizon = min(ad.lifetime.expires_ms for ad in advertisements)
+    if credentials is not None:
+        horizon = min(horizon, credentials.not_after_ms)
+    return horizon
 
 
 class TDNNode:
@@ -46,6 +62,7 @@ class TDNNode:
         uuid_generator: UUIDGenerator,
         monitor: Monitor | None = None,
         service_delay_ms: float = 3.0,
+        query_cache: bool = True,
     ) -> None:
         self.sim = sim
         self.name = name
@@ -57,6 +74,9 @@ class TDNNode:
         self._keys = KeyPair.generate(machine.rng)
         self.certificate = trust_anchor.issue(name, self._keys.public)
         self.store = AdvertisementStore()
+        #: Positive-answer discovery cache (docs/PERFORMANCE.md); ``None``
+        #: when disabled reproduces the always-scan query path exactly.
+        self.query_cache = DiscoveryCache() if query_cache else None
         self.failed = False
         self._peers: list["TDNNode"] = []
         self.replication_delay_ms = 2.0
@@ -71,7 +91,10 @@ class TDNNode:
         self.failed = True
 
     def recover(self) -> None:
+        """Bring the node back; its query cache restarts cold."""
         self.failed = False
+        if self.query_cache is not None:
+            self.query_cache.clear()
 
     # ------------------------------------------------------------ topic creation
 
@@ -218,6 +241,10 @@ class TDNNode:
         Unauthorized requests get *no response* — the paper's TDN simply
         ignores them, so the requester cannot distinguish "not authorized"
         from "no such topic".
+
+        A cached positive answer (same query, same certificate, store
+        untouched, nothing expired) skips the store scan and per-candidate
+        certificate verifications; the service delay is still paid.
         """
         if self.failed:
             raise DiscoveryError(f"TDN {self.name!r} is down")
@@ -228,6 +255,18 @@ class TDNNode:
             now = self.machine.now()
             self.monitor.increment("tdn.discovery_requests")
 
+            cache = self.query_cache
+            key: tuple | None = None
+            if cache is not None:
+                key = DiscoveryCache.key("one", query.descriptor, credentials)
+                cached = cache.lookup(key, self.store.version, now)
+                if cached is not MISS:
+                    metrics.counter("tdn.query.cache.hit").inc()
+                    self.monitor.increment("tdn.discovery_answered")
+                    metrics.counter("tdn.queries.answered").inc()
+                    return cached
+                metrics.counter("tdn.query.cache.miss").inc()
+
             candidates = self.store.find_matching(query, now)
             for advertisement in candidates:
                 yield from self.machine.charge(CryptoOp.CERT_VERIFY)
@@ -236,6 +275,13 @@ class TDNNode:
                 ):
                     self.monitor.increment("tdn.discovery_answered")
                     metrics.counter("tdn.queries.answered").inc()
+                    if cache is not None:
+                        cache.store(
+                            key,
+                            self.store.version,
+                            _cache_horizon_ms([advertisement], credentials),
+                            advertisement,
+                        )
                     return advertisement
             self.monitor.increment("tdn.discovery_ignored")
             metrics.counter("tdn.queries.ignored").inc()
@@ -259,6 +305,18 @@ class TDNNode:
             now = self.machine.now()
             self.monitor.increment("tdn.discovery_requests")
 
+            cache = self.query_cache
+            key: tuple | None = None
+            if cache is not None:
+                key = DiscoveryCache.key("all", query.descriptor, credentials)
+                cached = cache.lookup(key, self.store.version, now)
+                if cached is not MISS:
+                    metrics.counter("tdn.query.cache.hit").inc()
+                    self.monitor.increment("tdn.discovery_answered")
+                    metrics.counter("tdn.queries.answered").inc()
+                    return list(cached)
+                metrics.counter("tdn.query.cache.miss").inc()
+
             permitted: list[TopicAdvertisement] = []
             seen_descriptors: set[str] = set()
             for advertisement in self.store.find_matching(query, now):
@@ -273,6 +331,13 @@ class TDNNode:
             if permitted:
                 self.monitor.increment("tdn.discovery_answered")
                 metrics.counter("tdn.queries.answered").inc()
+                if cache is not None:
+                    cache.store(
+                        key,
+                        self.store.version,
+                        _cache_horizon_ms(permitted, credentials),
+                        tuple(permitted),
+                    )
             else:
                 self.monitor.increment("tdn.discovery_ignored")
                 metrics.counter("tdn.queries.ignored").inc()
@@ -299,6 +364,7 @@ class TDNCluster:
         machines: list[Machine],
         monitor: Monitor | None = None,
         uuid_seed: int = 0,
+        query_cache: bool = True,
     ) -> None:
         if not machines:
             raise DiscoveryError("a TDN cluster needs at least one node")
@@ -313,6 +379,7 @@ class TDNCluster:
                 trust_anchor=trust_anchor,
                 uuid_generator=generator,
                 monitor=self.monitor,
+                query_cache=query_cache,
             )
             for i, machine in enumerate(machines)
         ]

@@ -7,7 +7,6 @@ from dataclasses import dataclass
 from typing import Any
 
 from repro.errors import ConfigurationError
-from repro.util.serialization import canonical_encode
 
 
 @dataclass(frozen=True, slots=True)
@@ -33,6 +32,10 @@ class TransportProfile:
     ordered: bool
     retransmit_timeout_ms: float = 0.0
     max_retransmits: int = 8
+    #: Wire codec links on this transport size payloads with (a name in the
+    #: ``repro.wire`` registry).  ``None`` defers to the link's own setting
+    #: and ultimately to the ``json`` default.
+    codec: str | None = None
 
     def __post_init__(self) -> None:
         if self.base_latency_ms < 0 or self.jitter_ms < 0 or self.per_kb_ms < 0:
@@ -67,13 +70,17 @@ class DeliveryReceipt:
     size_bytes: int
 
 
-def wire_size(payload: Any) -> int:
-    """Bytes the payload occupies on the wire (canonical encoding length).
+def wire_size(payload: Any, codec: str | None = None) -> int:
+    """Bytes the payload occupies on the wire under ``codec``.
 
-    Objects exposing ``wire_dict()`` (our message envelopes) are encoded via
-    that rendering; everything else must be canonically encodable.
+    Delegates to :func:`repro.wire.codec.frame_size`: message envelopes are
+    sized through the named codec (default ``json`` — the canonical
+    encoding, byte-identical to the pre-codec behaviour) with memoized
+    per-message sizes; plain values must be canonically encodable.
+
+    The import is deferred because ``repro.wire`` imports the messaging
+    package, which imports this module back through the broker fabric.
     """
-    wire_dict = getattr(payload, "wire_dict", None)
-    if callable(wire_dict):
-        return len(canonical_encode(wire_dict()))
-    return len(canonical_encode(payload))
+    from repro.wire.codec import frame_size
+
+    return frame_size(payload, codec)

@@ -7,7 +7,7 @@ from typing import Any, Callable
 
 from repro.sim.engine import Simulator
 from repro.sim.monitor import Monitor
-from repro.transport.base import DeliveryReceipt, TransportProfile, wire_size
+from repro.transport.base import DeliveryReceipt, TransportProfile
 
 Handler = Callable[[Any], None]
 
@@ -23,6 +23,11 @@ class Link:
     Reliability: for a ``reliable`` profile, each loss sample adds one
     retransmission penalty instead of dropping.  For unreliable profiles a
     loss sample silently drops the payload (the receiver sees nothing).
+
+    Sizing: every send is sized through the link's wire codec
+    (``codec`` argument, else ``profile.codec``, else ``json``) via the
+    memoized hot path in :mod:`repro.wire.codec` — a message forwarded
+    over many links is rendered once per codec, not once per send.
     """
 
     def __init__(
@@ -33,11 +38,18 @@ class Link:
         rng: random.Random,
         name: str = "",
         monitor: Monitor | None = None,
+        codec: str | None = None,
     ) -> None:
+        # Deferred import: repro.wire reaches back into the messaging
+        # package, which imports repro.transport during its own init.
+        from repro.wire.codec import frame_size, resolve_codec
+
         self.sim = sim
         self.profile = profile
         self.receiver = receiver
         self.name = name or f"link-{id(self):x}"
+        self.codec = resolve_codec(codec or profile.codec)
+        self._frame_size = frame_size
         self._rng = rng
         self._monitor = monitor
         self._metrics = monitor.metrics if monitor is not None else None
@@ -53,12 +65,13 @@ class Link:
 
     def send(self, payload: Any) -> DeliveryReceipt:
         """Send ``payload``; schedules receiver callback in virtual time."""
-        size = wire_size(payload)
+        size = self._frame_size(payload, self.codec, self._metrics)
         self.sent_count += 1
         metrics = self._metrics
         if metrics:
             metrics.counter("transport.msgs.sent").inc()
             metrics.counter("transport.bytes.sent").inc(size)
+            metrics.counter(f"codec.bytes.{self.codec.name}").inc(size)
         latency = self.profile.sample_latency_ms(size, self._rng)
         retransmits = 0
 
@@ -144,10 +157,15 @@ class DuplexLink:
         rng: random.Random,
         name: str = "",
         monitor: Monitor | None = None,
+        codec: str | None = None,
     ) -> None:
         self.name = name or f"duplex-{id(self):x}"
-        self.a_to_b = Link(sim, profile, receiver_b, rng, f"{self.name}.a2b", monitor)
-        self.b_to_a = Link(sim, profile, receiver_a, rng, f"{self.name}.b2a", monitor)
+        self.a_to_b = Link(
+            sim, profile, receiver_b, rng, f"{self.name}.a2b", monitor, codec=codec
+        )
+        self.b_to_a = Link(
+            sim, profile, receiver_a, rng, f"{self.name}.b2a", monitor, codec=codec
+        )
 
     @property
     def profile(self) -> TransportProfile:

@@ -38,6 +38,19 @@ def canonical_encode(value: Any) -> bytes:
     return bytes(out)
 
 
+def canonical_encode_into(value: Any, out: bytearray) -> int:
+    """Append the canonical encoding of ``value`` to ``out``.
+
+    The streaming variant of :func:`canonical_encode`: callers that size
+    many payloads (``repro.wire``) reuse one pooled scratch buffer instead
+    of allocating a fresh ``bytes`` per encode.  Returns the number of
+    bytes appended.
+    """
+    before = len(out)
+    _encode_into(value, out)
+    return len(out) - before
+
+
 def _encode_into(value: Any, out: bytearray) -> None:
     if value is None:
         out += _TAG_NONE

@@ -1,0 +1,62 @@
+"""Reusable scratch buffers for frame encoding.
+
+Sizing a payload means rendering it through a codec; done naively that
+allocates a fresh byte buffer per send, which is exactly the kind of
+per-message cost the paper's scalability argument (section 6) says must
+stay flat as entity counts grow.  A :class:`FramePool` keeps a small free
+list of ``bytearray`` buffers so consecutive encodes on the hot path reuse
+one warm allocation instead of churning the allocator.
+
+The pool is deliberately tiny and single-threaded — the simulator runs one
+virtual timeline — so "pool" here means a LIFO free list with hit/miss
+accounting, not a concurrent arena.
+"""
+
+from __future__ import annotations
+
+
+class FramePool:
+    """A LIFO free list of reusable ``bytearray`` encode buffers.
+
+    ``acquire`` pops a warm buffer when one is free (a *hit*) or allocates
+    a fresh one (a *miss*); ``release`` clears the buffer and returns it to
+    the free list unless the pool is already full.  ``hits`` / ``misses`` /
+    ``reuses`` expose the counters the ``frame.pool.{hit,miss}`` instruments
+    are fed from.
+    """
+
+    def __init__(self, max_buffers: int = 8) -> None:
+        self.max_buffers = max_buffers
+        self._free: list[bytearray] = []
+        self.hits = 0
+        self.misses = 0
+        self.reuses = 0
+
+    def acquire(self) -> bytearray:
+        """Take an empty scratch buffer, reusing a pooled one when possible."""
+        if self._free:
+            self.hits += 1
+            return self._free.pop()
+        self.misses += 1
+        return bytearray()
+
+    def release(self, buffer: bytearray) -> None:
+        """Return ``buffer`` to the pool (cleared) for the next encode."""
+        if len(self._free) < self.max_buffers:
+            buffer.clear()
+            self._free.append(buffer)
+            self.reuses += 1
+
+    @property
+    def free_count(self) -> int:
+        """Buffers currently sitting warm in the free list."""
+        return len(self._free)
+
+    def stats(self) -> dict[str, int]:
+        """Counter snapshot (``hits`` / ``misses`` / ``reuses`` / ``free``)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "reuses": self.reuses,
+            "free": len(self._free),
+        }

@@ -1,0 +1,107 @@
+"""Unit tests for the perf-regression gate backing the ``perf-gate`` CI job."""
+
+import json
+
+import pytest
+
+from repro.bench.perf_gate import (
+    DEFAULT_TOLERANCE_PCT,
+    GATED_COUNTERS,
+    GATED_HISTOGRAMS,
+    check_regressions,
+    main,
+)
+
+
+def snapshot(bytes_sent=1000, fanout_sum=50.0, verify_sum=20.0):
+    return {
+        "counters": {"transport.bytes.sent": bytes_sent},
+        "gauges": {},
+        "histograms": {
+            "broker.fanout": {"count": 10, "mean": fanout_sum / 10},
+            "crypto.ms.token_verify": {"count": 4, "mean": verify_sum / 4},
+        },
+    }
+
+
+class TestCheckRegressions:
+    def test_identical_snapshots_pass(self):
+        base = snapshot()
+        assert check_regressions(base, base) == []
+
+    def test_improvement_passes(self):
+        assert check_regressions(snapshot(), snapshot(bytes_sent=500)) == []
+
+    def test_counter_regression_past_tolerance_fails(self):
+        findings = check_regressions(snapshot(), snapshot(bytes_sent=1030))
+        assert len(findings) == 1
+        assert "transport.bytes.sent" in findings[0]
+
+    def test_regression_within_tolerance_passes(self):
+        assert check_regressions(snapshot(), snapshot(bytes_sent=1019)) == []
+
+    def test_histogram_sum_regression_fails(self):
+        findings = check_regressions(snapshot(), snapshot(verify_sum=25.0))
+        assert len(findings) == 1
+        assert "crypto.ms.token_verify" in findings[0]
+
+    def test_multiple_regressions_all_reported(self):
+        worse = snapshot(bytes_sent=2000, fanout_sum=100.0, verify_sum=40.0)
+        findings = check_regressions(snapshot(), worse)
+        assert len(findings) == len(GATED_COUNTERS) + len(GATED_HISTOGRAMS)
+
+    def test_metric_appearing_from_zero_fails(self):
+        base = snapshot()
+        base["counters"]["transport.bytes.sent"] = 0
+        findings = check_regressions(base, snapshot())
+        assert any("appeared" in f for f in findings)
+
+    def test_custom_tolerance(self):
+        current = snapshot(bytes_sent=1080)
+        assert check_regressions(snapshot(), current, tolerance_pct=10.0) == []
+        assert check_regressions(snapshot(), current, tolerance_pct=5.0)
+
+    def test_default_tolerance_is_two_percent(self):
+        assert DEFAULT_TOLERANCE_PCT == 2.0
+
+
+class TestCommittedBaselines:
+    """The repo's own committed baselines must gate themselves clean."""
+
+    @pytest.mark.parametrize(
+        "name", ["wire_codec_before.json", "wire_codec_after.json"]
+    )
+    def test_baseline_self_diff_is_clean(self, name, repo_root):
+        path = repo_root / "benchmarks" / "results" / name
+        baseline = json.loads(path.read_text())
+        assert check_regressions(baseline, baseline) == []
+
+    def test_compact_beats_json_by_acceptance_bar(self, repo_root):
+        results = repo_root / "benchmarks" / "results"
+        before = json.loads((results / "wire_codec_before.json").read_text())
+        after = json.loads((results / "wire_codec_after.json").read_text())
+        sent_json = before["counters"]["transport.bytes.sent"]
+        sent_compact = after["counters"]["transport.bytes.sent"]
+        assert sent_compact <= 0.75 * sent_json
+
+
+@pytest.fixture
+def repo_root(request):
+    return request.config.rootpath
+
+
+class TestCli:
+    def test_missing_baseline_errors(self, tmp_path, capsys):
+        from repro.errors import SerializationError
+
+        with pytest.raises(SerializationError, match="cannot read snapshot"):
+            main([str(tmp_path / "absent.json")])
+
+    def test_clean_gate_exits_zero(self, tmp_path, capsys):
+        # gate a fabricated infinitely-generous baseline: every metric
+        # in the live run counts as an improvement or equality
+        live_like = snapshot(bytes_sent=10**12, fanout_sum=1e9, verify_sum=1e9)
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps(live_like))
+        assert main([str(path), "--codec", "compact"]) == 0
+        assert "perf gate clean" in capsys.readouterr().out

@@ -25,9 +25,22 @@ def test_triggers_cover_push_and_pr(workflow):
     assert "pull_request" in triggers
 
 
-def test_has_lint_analyze_test_and_bench_jobs(workflow):
+def test_concurrency_cancels_superseded_runs(workflow):
+    concurrency = workflow["concurrency"]
+    assert concurrency["cancel-in-progress"] is True
+    assert "github.ref" in concurrency["group"]
+
+
+def test_has_lint_analyze_test_bench_and_perf_jobs(workflow):
     jobs = workflow["jobs"]
-    assert set(jobs) == {"lint", "analyze", "test", "bench-smoke", "chaos-smoke"}
+    assert set(jobs) == {
+        "lint",
+        "analyze",
+        "test",
+        "bench-smoke",
+        "chaos-smoke",
+        "perf-gate",
+    }
 
 
 def test_analyze_job_runs_domain_linter(workflow):
@@ -39,20 +52,40 @@ def test_analyze_job_runs_doc_gates(workflow):
     runs = [step.get("run") or "" for step in workflow["jobs"]["analyze"]["steps"]]
     assert any("tools/check_metric_docs.py" in run for run in runs)
     assert any("tools/check_docstrings.py" in run for run in runs)
+    assert any("tools/check_doc_links.py" in run for run in runs)
 
 
-def test_test_matrix_covers_supported_pythons(workflow):
-    matrix = workflow["jobs"]["test"]["strategy"]["matrix"]
+def test_test_matrix_covers_supported_pythons_and_codecs(workflow):
+    job = workflow["jobs"]["test"]
+    matrix = job["strategy"]["matrix"]
     assert matrix["python-version"] == ["3.10", "3.11", "3.12"]
+    assert matrix["codec"] == ["json", "compact"]
+    assert job["env"]["REPRO_CODEC"] == "${{ matrix.codec }}"
 
 
 def test_pythonpath_is_src(workflow):
     assert workflow["env"]["PYTHONPATH"] == "src"
 
 
-def test_lint_job_runs_ruff(workflow):
+def test_lint_job_runs_pinned_ruff(workflow):
     steps = workflow["jobs"]["lint"]["steps"]
-    assert any("ruff check" in (step.get("run") or "") for step in steps)
+    runs = [step.get("run") or "" for step in steps]
+    assert any("ruff check" in run for run in runs)
+    assert any("pip install ruff==" in run for run in runs)
+
+
+def test_setup_python_steps_cache_pip(workflow):
+    for name, job in workflow["jobs"].items():
+        setup_steps = [
+            step
+            for step in job["steps"]
+            if "setup-python" in (step.get("uses") or "")
+        ]
+        assert setup_steps, f"job {name} never sets up python"
+        for step in setup_steps:
+            assert step["with"].get("cache") == "pip", (
+                f"job {name} setup-python step is missing pip caching"
+            )
 
 
 def test_bench_smoke_compiles_and_runs_bench_tests(workflow):
@@ -67,6 +100,15 @@ def test_chaos_smoke_gates_scenario_against_seed(workflow):
     assert any("chaos_seed.json" in run for run in runs)
 
 
-def test_chaos_smoke_checks_doc_links(workflow):
-    runs = [step.get("run") or "" for step in workflow["jobs"]["chaos-smoke"]["steps"]]
-    assert any("check_doc_links" in run for run in runs)
+def test_perf_gate_runs_both_codecs_against_committed_baselines(workflow):
+    runs = [step.get("run") or "" for step in workflow["jobs"]["perf-gate"]["steps"]]
+    assert any(
+        "repro.bench.perf_gate" in run and "wire_codec_before.json" in run
+        for run in runs
+    )
+    assert any(
+        "repro.bench.perf_gate" in run and "wire_codec_after.json" in run
+        for run in runs
+    )
+    assert any("--codec json" in run for run in runs)
+    assert any("--codec compact" in run for run in runs)

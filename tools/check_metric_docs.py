@@ -40,8 +40,10 @@ KNOWN_FAMILIES = {
     "analysis",
     "auth",
     "broker",
+    "codec",
     "crypto",
     "faults",
+    "frame",
     "tdn",
     "trace",
     "tracker",
