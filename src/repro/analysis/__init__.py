@@ -15,18 +15,32 @@ Rules
 DET01   No wall-clock reads or global ``random`` use outside the designated
         modules — simulation code draws from ``RandomStreams`` / the clock.
 DET02   No iteration over sets in scheduling/routing code (ordering hazard).
+DET03   *(project)* No wall-clock/global-RNG value may *flow* into message
+        ids, seeds, or encoded wire frames (taint tracking, one call hop).
 SIM01   Simulation process generators must not call blocking stdlib I/O.
 CRY01   Key material must not reach journals, logs, f-strings, or ``repr``;
         no constant IVs or ECB-shaped block encryption.
+CRY02   *(project)* Key-material taint tracking: no key reaches observable
+        or wire sinks through assignments or one call-graph hop.
 OBS01   Instrument name literals must match ``<family>.<noun>[.<detail>]``
         against the documented family list (docs/OBSERVABILITY.md).
+OBS02   *(project)* Every registered instrument is documented in
+        docs/OBSERVABILITY.md.
+WIRE01  *(project)* Message-kind and wire-field vocabularies must agree
+        across producers, handlers, and the codecs.
 ERR01   No ``raise`` of builtin exception types where a ``ReproError``
         subclass exists (see ``repro.errors``).
 ======  ======================================================================
 
+*(project)* rules run over a whole-tree :class:`~repro.analysis.project.
+ProjectIndex` (module table, import resolution, call graph) and are inert
+in single-file ``analyze_source`` mode.
+
 Suppress a finding on one line with ``# repro: noqa[RULE]`` (or a bare
-``# repro: noqa`` to silence every rule on that line).  See
-``docs/ANALYSIS.md`` for the full rule catalogue with examples.
+``# repro: noqa`` to silence every rule on that line); baseline a set of
+accepted findings with ``repro analyze --baseline analysis_baseline.json``
+(see :mod:`repro.analysis.baseline`).  See ``docs/ANALYSIS.md`` for the
+full rule catalogue with examples.
 """
 
 from repro.analysis.base import (  # noqa: F401
@@ -36,6 +50,15 @@ from repro.analysis.base import (  # noqa: F401
     Severity,
     analyze_source,
 )
+from repro.analysis.baseline import (  # noqa: F401
+    compare_to_baseline,
+    load_baseline,
+    write_baseline,
+)
+from repro.analysis.project import (  # noqa: F401
+    ProjectChecker,
+    ProjectIndex,
+)
 from repro.analysis.runner import (  # noqa: F401
     all_rule_ids,
     analyze_paths,
@@ -43,3 +66,4 @@ from repro.analysis.runner import (  # noqa: F401
     format_findings_text,
     record_stats,
 )
+from repro.analysis.sarif import format_sarif, to_sarif  # noqa: F401

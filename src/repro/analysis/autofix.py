@@ -1,0 +1,73 @@
+"""``--add-noqa``: mechanically baseline findings in place.
+
+Mirrors ruff's ``--add-noqa``: for every finding, append
+``# repro: noqa[RULE]`` to the offending line (merging rule ids into an
+existing ``# repro: noqa[...]`` comment when one is already there).  The
+intended use is adopting a new rule on a legacy codebase — run the
+analyzer, let the autofix annotate every accepted finding, review the
+diff, commit.  Lines carrying a *bare* ``# repro: noqa`` already suppress
+everything and are left untouched.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Iterable
+
+from repro.analysis.base import Finding
+
+_NOQA_EDIT_RE = re.compile(
+    r"(?P<prefix>#\s*repro:\s*noqa)\[(?P<rules>[A-Za-z0-9_,\s]+)\]"
+)
+_BARE_NOQA_RE = re.compile(r"#\s*repro:\s*noqa(?!\[)")
+
+
+def _merge_line(text: str, rules: set[str]) -> str | None:
+    """``text`` with ``rules`` suppressed, or None if already covered."""
+    match = _NOQA_EDIT_RE.search(text)
+    if match is not None:
+        existing = {r.strip().upper() for r in match.group("rules").split(",") if r.strip()}
+        missing = rules - existing
+        if not missing:
+            return None
+        merged = ",".join(sorted(existing | rules))
+        return (
+            text[: match.start()]
+            + f"{match.group('prefix')}[{merged}]"
+            + text[match.end() :]
+        )
+    if _BARE_NOQA_RE.search(text):
+        return None  # bare noqa already silences every rule
+    return f"{text.rstrip()}  # repro: noqa[{','.join(sorted(rules))}]"
+
+
+def add_noqa(findings: Iterable[Finding]) -> dict[str, int]:
+    """Insert suppression comments for ``findings``; returns edits per file.
+
+    Findings are grouped by file and line so one line hit by several rules
+    gets a single combined comment.  Files are rewritten in place.
+    """
+    by_file: dict[str, dict[int, set[str]]] = {}
+    for finding in findings:
+        by_file.setdefault(finding.path, {}).setdefault(finding.line, set()).add(
+            finding.rule.upper()
+        )
+
+    edits: dict[str, int] = {}
+    for path, per_line in sorted(by_file.items()):
+        source = Path(path).read_text(encoding="utf-8")
+        lines = source.splitlines()
+        changed = 0
+        for lineno, rules in per_line.items():
+            if not 1 <= lineno <= len(lines):
+                continue
+            merged = _merge_line(lines[lineno - 1], rules)
+            if merged is not None:
+                lines[lineno - 1] = merged
+                changed += 1
+        if changed:
+            trailer = "\n" if source.endswith("\n") else ""
+            Path(path).write_text("\n".join(lines) + trailer, encoding="utf-8")
+            edits[path] = changed
+    return edits

@@ -1,0 +1,120 @@
+"""Findings baseline: the ratchet that lets counts only go down.
+
+A freshly adopted project-wide rule usually surfaces legacy findings that
+are understood, documented, and not worth churning the code for — the
+classic example here is WIRE01's ``key_distribution`` kind, which is
+dispatched by *topic* rather than by ``kind`` and therefore legitimately
+has no kind handler.  The baseline records those accepted findings as
+per-``(rule, path)`` counts; ``repro analyze --baseline FILE`` then fails
+only when a count *rises* (a new finding appeared), never when it falls.
+Shrinking is rewarded: ``--update-baseline`` rewrites the file so the
+freed budget cannot silently refill.
+
+Counts — not line numbers — are the ledger currency on purpose: an
+unrelated edit above a baselined finding must not break the gate.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.analysis.base import Finding
+from repro.errors import ConfigurationError
+
+BASELINE_SCHEMA_VERSION = 1
+
+#: ``rule -> {normalized path -> accepted finding count}``.
+BaselineCounts = dict[str, dict[str, int]]
+
+
+def normalize_path(path: str) -> str:
+    """Repo-relative form of a finding path, stable across invocations.
+
+    The self-check test analyzes by absolute path while CI analyzes
+    ``src/...`` relative — slicing from the last ``src/`` segment makes
+    both spell a finding in ``src/repro/x.py`` identically.
+    """
+    posix = Path(path).as_posix()
+    idx = posix.rfind("/src/")
+    if idx >= 0:
+        return posix[idx + 1 :]
+    return posix.lstrip("/")
+
+
+def baseline_counts(findings: Iterable[Finding]) -> BaselineCounts:
+    """Current findings folded into the baseline's count shape."""
+    counts: BaselineCounts = {}
+    for finding in findings:
+        per_rule = counts.setdefault(finding.rule, {})
+        path = normalize_path(finding.path)
+        per_rule[path] = per_rule.get(path, 0) + 1
+    return counts
+
+
+def write_baseline(findings: Iterable[Finding], path: str | Path) -> None:
+    """Serialize the accepted-findings ledger (sorted, diff-friendly)."""
+    payload = {
+        "schema_version": BASELINE_SCHEMA_VERSION,
+        "counts": {
+            rule: dict(sorted(paths.items()))
+            for rule, paths in sorted(baseline_counts(findings).items())
+        },
+    }
+    Path(path).write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def load_baseline(path: str | Path) -> BaselineCounts:
+    """Read a baseline file, validating shape and schema version."""
+    try:
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+    except FileNotFoundError as exc:
+        raise ConfigurationError(f"baseline file not found: {path}") from exc
+    except json.JSONDecodeError as exc:
+        raise ConfigurationError(f"baseline {path} is not valid JSON: {exc}") from exc
+    if not isinstance(payload, dict) or "counts" not in payload:
+        raise ConfigurationError(f"baseline {path} has no 'counts' table")
+    version = payload.get("schema_version")
+    if version != BASELINE_SCHEMA_VERSION:
+        raise ConfigurationError(
+            f"baseline {path} has schema_version {version!r}; "
+            f"this build reads {BASELINE_SCHEMA_VERSION}"
+        )
+    return {
+        str(rule): {str(p): int(n) for p, n in paths.items()}
+        for rule, paths in payload["counts"].items()
+    }
+
+
+def compare_to_baseline(
+    findings: Sequence[Finding], baseline: BaselineCounts
+) -> tuple[list[str], list[str]]:
+    """``(regressions, improvements)`` of current findings vs the ledger.
+
+    A regression is any ``(rule, path)`` whose count exceeds its accepted
+    budget (missing entries have budget 0).  An improvement is a count
+    below budget — allowed, but worth re-baselining so it stays down.
+    """
+    current = baseline_counts(findings)
+    regressions: list[str] = []
+    improvements: list[str] = []
+    tracked = {
+        (rule, path)
+        for table in (current, baseline)
+        for rule, paths in table.items()
+        for path in paths
+    }
+    for rule, path in sorted(tracked):
+        now = current.get(rule, {}).get(path, 0)
+        accepted = baseline.get(rule, {}).get(path, 0)
+        if now > accepted:
+            regressions.append(
+                f"{rule} at {path}: {now} finding(s), baseline accepts {accepted}"
+            )
+        elif now < accepted:
+            improvements.append(
+                f"{rule} at {path}: down to {now} from {accepted} — "
+                "run --update-baseline to lock it in"
+            )
+    return regressions, improvements

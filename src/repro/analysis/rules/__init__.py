@@ -5,17 +5,31 @@ from __future__ import annotations
 from repro.analysis.base import Checker
 from repro.analysis.rules.crypto_hygiene import SecretExposureChecker
 from repro.analysis.rules.determinism import SetIterationChecker, WallClockChecker
+from repro.analysis.rules.determinism_flow import DeterminismFlowChecker
 from repro.analysis.rules.error_taxonomy import BuiltinRaiseChecker
-from repro.analysis.rules.observability import InstrumentNameChecker
+from repro.analysis.rules.key_taint import KeyMaterialFlowChecker
+from repro.analysis.rules.observability import (
+    InstrumentNameChecker,
+    UndocumentedInstrumentChecker,
+)
 from repro.analysis.rules.sim_process import BlockingSimProcessChecker
+from repro.analysis.rules.wire_schema import WireSchemaChecker
 
-#: Checker classes in catalogue order (DET01, DET02, SIM01, CRY01, OBS01, ERR01).
+#: Checker classes in catalogue order (DET01, DET02, DET03, SIM01, CRY01,
+#: CRY02, OBS01, OBS02, WIRE01, ERR01).  DET03, CRY02, OBS02 and WIRE01
+#: are project-wide rules: they run once per analysis over the shared
+#: :class:`~repro.analysis.project.ProjectIndex` and are inert in
+#: single-file mode (``analyze_source``).
 ALL_CHECKER_CLASSES: tuple[type[Checker], ...] = (
     WallClockChecker,
     SetIterationChecker,
+    DeterminismFlowChecker,
     BlockingSimProcessChecker,
     SecretExposureChecker,
+    KeyMaterialFlowChecker,
     InstrumentNameChecker,
+    UndocumentedInstrumentChecker,
+    WireSchemaChecker,
     BuiltinRaiseChecker,
 )
 

@@ -40,24 +40,108 @@ _SPLIT_RE = re.compile(r"[_\W\d]+")
 
 
 def is_secret_name(identifier: str) -> bool:
-    """``trace_key`` and ``private_exponent`` are secret; ``key_bits`` is not."""
+    """``trace_key`` and ``private_exponent`` are secret; ``key_bits`` is not.
+
+    A ``public`` component neutralizes the whole name: ``public_key`` /
+    ``owner_public_key`` are *meant* to be shared, logged, and put on the
+    wire (section 4's tokens literally carry one).
+    """
     parts = [p for p in _SPLIT_RE.split(identifier.lower()) if p]
-    if not parts or parts[-1] in METADATA_PARTS:
+    if not parts or parts[-1] in METADATA_PARTS or "public" in parts:
         return False
     return any(part in SECRET_PARTS for part in parts)
 
 
+def is_metadata_name(identifier: str) -> bool:
+    """``count``, ``key_fingerprint`` — metadata *about* a key, never the key."""
+    parts = [p for p in _SPLIT_RE.split(identifier.lower()) if p]
+    return bool(parts) and parts[-1] in METADATA_PARTS
+
+
+def access_chain(node: ast.expr) -> list[str]:
+    """Name components of a ``Name``/``Attribute``/``Subscript`` chain.
+
+    ``self.keys["count"]`` yields ``["self", "keys", "count"]``; a
+    non-constant subscript (``keys[i]``) contributes no component but the
+    chain keeps descending.  An empty list means the expression is not a
+    plain access chain (a call, a literal, ...).
+    """
+    parts: list[str] = []
+    while True:
+        if isinstance(node, ast.Name):
+            parts.insert(0, node.id)
+            return parts
+        if isinstance(node, ast.Attribute):
+            parts.insert(0, node.attr)
+            node = node.value
+            continue
+        if isinstance(node, ast.Subscript):
+            key = node.slice
+            if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                parts.insert(0, key.value)
+            node = node.value
+            continue
+        return []
+
+
 def _secret_expr_name(node: ast.expr) -> str | None:
-    """The offending identifier if ``node`` names key material directly."""
-    if isinstance(node, ast.Name) and is_secret_name(node.id):
-        return node.id
-    if isinstance(node, ast.Attribute) and is_secret_name(node.attr):
-        return node.attr
+    """The offending identifier if ``node`` names key material directly.
+
+    The whole access chain decides, and its *last* component wins:
+    ``meta["private_key"]`` and ``session.keys[0]`` are key material, but
+    ``keys["count"]`` and ``report["keys"]["fingerprint"]`` only read
+    metadata about keys — the trailing component neutralizes the chain even
+    when a secret-named part sits under a subscript.
+    """
+    parts = access_chain(node)
+    if not parts or is_metadata_name(parts[-1]):
+        return None
+    if isinstance(node, ast.Subscript) and parts in (["key"], ["keys"]):
+        # ``key[:8]`` / ``keys[i]``: indexing a *generically* named value is
+        # a mapping lookup or a slice of something derived (a hex digest, an
+        # id), not the key material itself.  Specific names (``trace_key``)
+        # still flag.
+        return None
+    for part in reversed(parts):
+        if is_secret_name(part):
+            return part
+    return None
+
+
+def observable_sink_label(func: ast.expr) -> str | None:
+    """Human label when ``func`` is an observable sink callable, else None.
+
+    Shared with the flow-sensitive CRY02 rule so both agree on what counts
+    as "observable output": logging-shaped calls, ``print``, and
+    ``.record(...)`` on a journal-shaped receiver.
+    """
+    if isinstance(func, ast.Name):
+        return f"{func.id}()" if func.id in LOG_CALL_NAMES else None
+    if isinstance(func, ast.Attribute):
+        if func.attr in LOG_CALL_NAMES:
+            return f"a .{func.attr}() sink"
+        if func.attr == "record":
+            receiver = func.value
+            tail = (
+                receiver.id
+                if isinstance(receiver, ast.Name)
+                else receiver.attr if isinstance(receiver, ast.Attribute) else ""
+            )
+            if "journal" in tail.lower():
+                return "a journal .record() sink"
     return None
 
 
 class SecretExposureChecker(Checker):
-    """CRY01: key material out of logs; no constant IVs; no ECB shapes."""
+    """CRY01: key material out of logs; no constant IVs; no ECB shapes.
+
+    This is the *syntactic* rule: it only sees key material named at the
+    sink itself.  When the project-wide CRY02 taint rule runs it covers the
+    same direct flows plus everything reached through assignments and
+    one-hop calls, so CRY01 acts as the fallback for single-file analysis
+    (``analyze_source``) and keeps sole ownership of the cipher-shape
+    checks (constant IV / ECB).
+    """
 
     rule = "CRY01"
     description = (
@@ -95,43 +179,17 @@ class SecretExposureChecker(Checker):
                 yield ctx.finding(
                     self, call, f"{func.id}() of key material {name!r}"
                 )
-        if self._is_observable_sink(ctx, func):
+        sink_label = observable_sink_label(func)
+        if sink_label is not None:
             for arg in [*call.args, *(kw.value for kw in call.keywords)]:
                 name = _secret_expr_name(arg)
                 if name is not None:
                     yield ctx.finding(
                         self,
                         call,
-                        f"key material {name!r} passed to "
-                        f"{self._sink_label(func)}",
+                        f"key material {name!r} passed to {sink_label}",
                     )
         yield from self._check_cipher_shape(ctx, call)
-
-    @staticmethod
-    def _is_observable_sink(ctx: FileContext, func: ast.expr) -> bool:
-        if isinstance(func, ast.Name):
-            return func.id in LOG_CALL_NAMES
-        if isinstance(func, ast.Attribute):
-            if func.attr in LOG_CALL_NAMES:
-                return True
-            if func.attr == "record":
-                # journal.record(...) / self.journal.record(...)
-                receiver = func.value
-                tail = (
-                    receiver.id
-                    if isinstance(receiver, ast.Name)
-                    else receiver.attr if isinstance(receiver, ast.Attribute) else ""
-                )
-                return "journal" in tail.lower()
-        return False
-
-    @staticmethod
-    def _sink_label(func: ast.expr) -> str:
-        if isinstance(func, ast.Attribute):
-            return f"a .{func.attr}() sink"
-        if isinstance(func, ast.Name):
-            return f"{func.id}()"
-        return "an observable sink"
 
     # -- degenerate cipher modes --------------------------------------------------
 

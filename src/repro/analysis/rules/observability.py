@@ -1,19 +1,28 @@
-"""OBS01 — instrument naming contract.
+"""OBS01 / OBS02 — instrument naming and documentation contracts.
 
 ``MetricsRegistry`` instruments follow ``<family>.<noun>[.<detail>]``
 (docs/OBSERVABILITY.md): all lowercase, dot-separated, first segment one
 of the documented families.  Snapshot consumers group by that first
 segment, so a misspelled family silently drops a number out of every
 dashboard and paper-comparison table built on the snapshot.
+
+OBS01 checks the *shape* per file; OBS02 checks *documentation* per
+project: every instrument the code registers must appear in
+docs/OBSERVABILITY.md.  The extraction helpers here are the single
+source of truth — ``tools/check_metric_docs.py`` is a thin wrapper over
+them, so the doc gate and ``repro analyze`` can never disagree about
+what counts as an instrument.
 """
 
 from __future__ import annotations
 
 import ast
 import re
-from typing import Iterator
+from pathlib import Path
+from typing import Iterable, Iterator
 
 from repro.analysis.base import SEVERITY_ERROR, Checker, FileContext, Finding
+from repro.analysis.project import ProjectChecker, ProjectIndex
 
 #: Documented instrument families (docs/OBSERVABILITY.md + docs/ANALYSIS.md).
 KNOWN_FAMILIES = frozenset(
@@ -121,3 +130,214 @@ class InstrumentNameChecker(Checker):
                 f"instrument family {prefix.split('.', 1)[0]!r} "
                 f"(from f-string prefix {prefix!r}) is not documented",
             )
+
+
+# -- shared instrument extraction (OBS02 + tools/check_metric_docs.py) ------------
+
+#: Backticked dotted tokens in docs/OBSERVABILITY.md that share a family
+#: prefix but are journal/monitor event names, not registry instruments.
+NON_INSTRUMENT_DOC_TOKENS = frozenset(
+    {
+        "trace.suppressed_no_subscriber",
+        "trace.sessions_created",
+        "trace.sessions_superseded",
+    }
+)
+
+_DOC_TOKEN_RE = re.compile(r"`([a-z][a-z0-9_]*(?:\.[a-z0-9_<>\-]+)+)`")
+
+
+def module_string_constants(tree: ast.Module) -> dict[str, str]:
+    """Module-level ``NAME = "literal"`` assignments (instrument aliases)."""
+    constants: dict[str, str] = {}
+    for node in tree.body:
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and isinstance(node.value, ast.Constant)
+            and isinstance(node.value.value, str)
+        ):
+            constants[node.targets[0].id] = node.value.value
+    return constants
+
+
+def instrument_registrations(
+    tree: ast.Module,
+) -> Iterator[tuple[ast.Call, str | None, str | None]]:
+    """Registry factory calls as ``(call, exact name, f-string prefix)``.
+
+    Exactly one of the last two is non-None per yielded registration;
+    calls whose name argument cannot be resolved statically (a bare
+    variable that is not a module constant) are skipped, matching OBS01.
+    """
+    constants = module_string_constants(tree)
+    for node in ast.walk(tree):
+        if not (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in INSTRUMENT_FACTORIES
+            and node.args
+            and InstrumentNameChecker._receiver_is_registry(node.func.value)
+        ):
+            continue
+        arg = node.args[0]
+        if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+            yield node, arg.value, None
+        elif isinstance(arg, ast.Name) and arg.id in constants:
+            yield node, constants[arg.id], None
+        elif isinstance(arg, ast.JoinedStr) and arg.values:
+            first = arg.values[0]
+            if isinstance(first, ast.Constant) and isinstance(first.value, str):
+                yield node, None, first.value
+
+
+def collect_code_names_from_trees(
+    trees: Iterable[ast.Module],
+) -> tuple[set[str], set[str]]:
+    """(exact instrument names, f-string literal prefixes) over ``trees``."""
+    names: set[str] = set()
+    prefixes: set[str] = set()
+    for tree in trees:
+        for _node, name, prefix in instrument_registrations(tree):
+            if name is not None:
+                names.add(name)
+            else:
+                prefixes.add(prefix)
+    return names, prefixes
+
+
+def doc_instrument_names(text: str) -> tuple[set[str], set[str]]:
+    """(exact documented names, placeholder prefixes) in the doc text.
+
+    Placeholder segments in angle brackets (``crypto.ms.<op>``) match any
+    code name or f-string prefix under the literal part before them.
+    """
+    exact: set[str] = set()
+    placeholder_prefixes: set[str] = set()
+    for token in _DOC_TOKEN_RE.findall(text):
+        if token.split(".", 1)[0] not in KNOWN_FAMILIES:
+            continue
+        if token in NON_INSTRUMENT_DOC_TOKENS:
+            continue
+        if "<" in token:
+            placeholder_prefixes.add(token.split("<", 1)[0])
+        else:
+            exact.add(token)
+    return exact, placeholder_prefixes
+
+
+def instrument_drift(
+    code_names: set[str],
+    code_prefixes: set[str],
+    doc_names: set[str],
+    doc_prefixes: set[str],
+) -> list[str]:
+    """Human-readable drift findings, both directions, sorted."""
+    findings: list[str] = []
+
+    def documented(name: str) -> bool:
+        return name in doc_names or any(
+            name.startswith(prefix) for prefix in doc_prefixes
+        )
+
+    for name in sorted(code_names):
+        if not documented(name):
+            findings.append(
+                f"undocumented instrument: {name!r} is registered in code "
+                "but missing from docs/OBSERVABILITY.md"
+            )
+    for prefix in sorted(code_prefixes):
+        if not (
+            prefix in doc_prefixes
+            or any(name.startswith(prefix) for name in doc_names)
+        ):
+            findings.append(
+                f"undocumented instrument prefix: f-string names under "
+                f"{prefix!r} have no entry in docs/OBSERVABILITY.md"
+            )
+
+    def exists_in_code(name: str) -> bool:
+        return name in code_names or any(
+            name.startswith(prefix) for prefix in code_prefixes
+        )
+
+    for name in sorted(doc_names):
+        if not exists_in_code(name):
+            findings.append(
+                f"stale documentation: {name!r} appears in "
+                "docs/OBSERVABILITY.md but no code registers it"
+            )
+    for prefix in sorted(doc_prefixes):
+        if not (
+            prefix in code_prefixes
+            or any(name.startswith(prefix) for name in code_names)
+        ):
+            findings.append(
+                f"stale documentation: placeholder family {prefix!r}* has "
+                "no matching instrument in code"
+            )
+    return findings
+
+
+class UndocumentedInstrumentChecker(ProjectChecker):
+    """OBS02: every registered instrument is listed in OBSERVABILITY.md.
+
+    The code-to-doc direction of the metric-docs gate, with source
+    locations; the doc-to-code (staleness) direction has no code anchor
+    and stays with ``tools/check_metric_docs.py``.  Projects without a
+    ``docs/OBSERVABILITY.md`` (fixture packages) are skipped entirely.
+    """
+
+    rule = "OBS02"
+    description = (
+        "registered instrument names must be documented in "
+        "docs/OBSERVABILITY.md (exactly or under a <placeholder> prefix)"
+    )
+    severity = SEVERITY_ERROR
+    default_hint = "add the instrument to the family table in docs/OBSERVABILITY.md"
+
+    def check_project(self, index: ProjectIndex) -> Iterator[Finding]:
+        doc_text = self._find_doc(index)
+        if doc_text is None:
+            return
+        doc_names, doc_prefixes = doc_instrument_names(doc_text)
+
+        def documented(name: str) -> bool:
+            return name in doc_names or any(
+                name.startswith(prefix) for prefix in doc_prefixes
+            )
+
+        for info in index.iter_modules():
+            for node, name, prefix in instrument_registrations(info.ctx.tree):
+                if name is not None and not documented(name):
+                    yield self.project_finding(
+                        info,
+                        node,
+                        f"instrument {name!r} is registered here but not "
+                        "documented in docs/OBSERVABILITY.md",
+                    )
+                elif prefix is not None and not (
+                    prefix in doc_prefixes
+                    or any(doc.startswith(prefix) for doc in doc_names)
+                ):
+                    yield self.project_finding(
+                        info,
+                        node,
+                        f"dynamic instruments under {prefix!r} have no entry "
+                        "in docs/OBSERVABILITY.md",
+                    )
+
+    @staticmethod
+    def _find_doc(index: ProjectIndex) -> str | None:
+        """docs/OBSERVABILITY.md contents, climbing up from any module."""
+        for info in index.iter_modules():
+            current = Path(info.path).resolve().parent
+            while True:
+                candidate = current / "docs" / "OBSERVABILITY.md"
+                if candidate.is_file():
+                    return candidate.read_text(encoding="utf-8")
+                if current.parent == current:
+                    break
+                current = current.parent
+        return None

@@ -10,10 +10,12 @@ trends can be cited in snapshots like any other instrument
 from __future__ import annotations
 
 import json
+import time
 from pathlib import Path
 from typing import Iterable, Iterator, Sequence
 
 from repro.analysis.base import Checker, FileContext, Finding, run_checkers
+from repro.analysis.project import ProjectChecker, ProjectIndex, run_project_checkers
 from repro.analysis.rules import default_checkers
 from repro.errors import ConfigurationError
 from repro.obs.registry import MetricsRegistry
@@ -66,20 +68,89 @@ def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
                 yield candidate
 
 
+def _now_ms() -> float:
+    """Analyzer wall-clock for self-instrumentation (not simulation code)."""
+    return time.perf_counter() * 1000.0  # repro: noqa[DET01]
+
+
 def analyze_paths(
     paths: Iterable[str | Path],
     checkers: Iterable[Checker] | None = None,
+    registry: MetricsRegistry | None = None,
 ) -> list[Finding]:
-    """All findings over every Python file reachable from ``paths``."""
+    """All findings over every Python file reachable from ``paths``.
+
+    Per-file rules run file by file; :class:`ProjectChecker` rules run
+    once over a shared :class:`ProjectIndex` of every file in the run.
+    With a ``registry``, the analyzer instruments itself:
+    ``analysis.project.files`` (files indexed),
+    ``analysis.project.index_ms`` (index build time) and
+    ``analysis.project.ms.<rule>`` (per-rule wall time).
+    """
     active = list(checkers) if checkers is not None else default_checkers()
-    findings: list[Finding] = []
+    file_checkers = [c for c in active if not isinstance(c, ProjectChecker)]
+    project_checkers = [c for c in active if isinstance(c, ProjectChecker)]
+
+    contexts: list[FileContext] = []
     for path in iter_python_files(paths):
         try:
-            ctx = FileContext(str(path), path.read_text(encoding="utf-8"))
+            contexts.append(FileContext(str(path), path.read_text(encoding="utf-8")))
         except SyntaxError as exc:
             raise ConfigurationError(f"cannot parse {path}: {exc}") from exc
-        findings.extend(run_checkers(ctx, active))
-    return sorted(findings, key=Finding.sort_key)
+
+    findings: list[Finding] = []
+    for checker in file_checkers:
+        started = _now_ms()
+        for ctx in contexts:
+            findings.extend(run_checkers(ctx, [checker]))
+        _observe_rule_ms(registry, checker.rule, _now_ms() - started)
+
+    if project_checkers:
+        started = _now_ms()
+        index = ProjectIndex()
+        for ctx in contexts:
+            index.add(ctx)
+        if registry is not None:
+            registry.gauge("analysis.project.files").set(len(contexts))
+            registry.histogram("analysis.project.index_ms").observe(
+                _now_ms() - started
+            )
+        for checker in project_checkers:
+            started = _now_ms()
+            findings.extend(run_project_checkers(index, [checker]))
+            _observe_rule_ms(registry, checker.rule, _now_ms() - started)
+
+    return sorted(_drop_shadowed(findings), key=Finding.sort_key)
+
+
+def _observe_rule_ms(
+    registry: MetricsRegistry | None, rule: str, elapsed_ms: float
+) -> None:
+    if registry is not None:
+        registry.histogram(f"analysis.project.ms.{rule.lower()}").observe(elapsed_ms)
+
+
+def _drop_shadowed(findings: list[Finding]) -> list[Finding]:
+    """Drop CRY01 key-material findings that CRY02 re-reports flow-sensitively.
+
+    In a project run CRY02 subsumes CRY01's name-at-sink heuristic; keeping
+    both would double-count every direct leak.  CRY01's cipher-shape
+    findings (constant IV / ECB) are its own and always survive.
+    """
+    cry02_sites = {
+        (f.path, f.line) for f in findings if f.rule == "CRY02"
+    }
+    if not cry02_sites:
+        return findings
+    return [
+        f
+        for f in findings
+        if not (
+            f.rule == "CRY01"
+            and "key material" in f.message
+            and (f.path, f.line) in cry02_sites
+        )
+    ]
 
 
 def rule_counts(findings: Iterable[Finding], rules: Iterable[str]) -> dict[str, int]:

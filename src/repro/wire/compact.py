@@ -133,6 +133,17 @@ STATIC_STRINGS: tuple[str, ...] = (
     "ciphertext",
     "wrapped_key",
     "credentials",
+    # session-control and key-management kinds (repro.tracing.entity,
+    # repro.tracing.broker_ops, repro.security.keydist) — appended so every
+    # produced message kind interns (WIRE01 checks this)
+    "sym",
+    "state_transition",
+    "load",
+    "disable_tracing",
+    "token_delivery",
+    "trace_key",
+    "channel_key",
+    "key_distribution",
 )
 
 _STATIC_INDEX: dict[str, int] = {s: i for i, s in enumerate(STATIC_STRINGS)}

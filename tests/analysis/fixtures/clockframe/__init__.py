@@ -1,0 +1,1 @@
+"""DET03 fixture: a wall-clock value reaching encoded wire bytes."""

@@ -1,0 +1,13 @@
+"""The flow DET03 catches: stamp() -> frame body -> codec.encode()."""
+
+from clockframe.stamps import stamp
+
+
+def frame(codec, body):
+    stamped = dict(body, ts=stamp())
+    return codec.encode(stamped)
+
+
+def safe_frame(codec, body, clock):
+    stamped = dict(body, ts=clock.now())
+    return codec.encode(stamped)

@@ -1,0 +1,7 @@
+"""The clock read lives here; DET01 flags the read itself on this line."""
+
+import time
+
+
+def stamp():
+    return time.time()

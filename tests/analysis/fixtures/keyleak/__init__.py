@@ -1,0 +1,1 @@
+"""CRY02 fixture: key material crossing module boundaries before leaking."""

@@ -1,0 +1,14 @@
+"""Leaks the minted key: directly onto the wire, and via the one-hop helper."""
+
+from keyleak.emitter import record_handshake
+from keyleak.kdc import new_session_key
+
+
+def announce(broker, rng):
+    session_key = new_session_key(rng)
+    broker.publish("keys/new", {"material": session_key})
+
+
+def handshake(journal, rng):
+    session_key = new_session_key(rng)
+    record_handshake(journal, session_key)

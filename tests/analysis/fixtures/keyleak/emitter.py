@@ -1,0 +1,5 @@
+"""A helper whose parameter reaches a journal sink (one-hop sink_params)."""
+
+
+def record_handshake(journal, material):
+    journal.record("handshake", material=material)

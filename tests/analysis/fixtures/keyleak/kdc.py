@@ -1,0 +1,7 @@
+"""Mints session keys — the taint source lives here, one module away."""
+
+from repro.crypto.keys import SymmetricKey
+
+
+def new_session_key(rng):
+    return SymmetricKey(rng.randbytes(16))

@@ -1,0 +1,1 @@
+"""CRY02 negative fixture: only digests/fingerprints leave the process."""

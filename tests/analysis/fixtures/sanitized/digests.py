@@ -1,0 +1,18 @@
+"""Same shapes as the keyleak fixture, with a sanitizer on every path."""
+
+from repro.crypto.digest import sha1_digest
+from repro.crypto.keys import SymmetricKey
+
+
+def fingerprint(key_obj):
+    return sha1_digest(key_obj.material)
+
+
+def announce(broker, rng):
+    session_key = SymmetricKey(rng.randbytes(16))
+    broker.publish("keys/new", {"kid": fingerprint(session_key)})
+
+
+def audit(journal, rng):
+    session_key = SymmetricKey(rng.randbytes(16))
+    journal.record("keydist", kid=session_key.fingerprint(), bits=len(session_key.material))

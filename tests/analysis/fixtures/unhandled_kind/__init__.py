@@ -1,0 +1,1 @@
+"""WIRE01 fixture: a produced message kind with no dispatch arm anywhere."""

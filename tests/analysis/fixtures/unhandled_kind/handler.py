@@ -1,0 +1,8 @@
+"""Dispatches ping only — shutdown_notice messages are silently dropped."""
+
+
+def handle(body):
+    kind = body.get("kind")
+    if kind == "ping":
+        return {"ok": True, "nonce": body.get("nonce")}
+    return None

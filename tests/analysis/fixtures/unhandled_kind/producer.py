@@ -1,0 +1,11 @@
+"""Builds two kinds; only one of them has a handler in handler.py."""
+
+SHUTDOWN_KIND = "shutdown_notice"
+
+
+def build_shutdown(entity_id):
+    return {"kind": SHUTDOWN_KIND, "entity": entity_id}
+
+
+def build_ping(nonce):
+    return {"kind": "ping", "nonce": nonce}

@@ -1,0 +1,42 @@
+"""``--add-noqa``: inserting and merging suppression comments."""
+
+from repro.analysis.autofix import add_noqa
+from repro.analysis.base import Finding
+
+
+def finding(path, line, rule="DET01"):
+    return Finding(rule=rule, severity="error", path=path, line=line, message="m")
+
+
+def test_appends_comment_to_flagged_line(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text("import time\nstamp = time.time()\n")
+    edits = add_noqa([finding(str(target), 2)])
+    assert edits == {str(target): 1}
+    assert target.read_text().splitlines()[1] == "stamp = time.time()  # repro: noqa[DET01]"
+
+
+def test_merges_rules_on_one_line(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text("raise ValueError(time.time())\n")
+    add_noqa([finding(str(target), 1), finding(str(target), 1, rule="ERR01")])
+    assert "# repro: noqa[DET01,ERR01]" in target.read_text()
+
+
+def test_merges_into_existing_suppression(tmp_path):
+    target = tmp_path / "mod.py"
+    target.write_text("stamp = time.time()  # repro: noqa[ERR01]\n")
+    add_noqa([finding(str(target), 1)])
+    assert "# repro: noqa[DET01,ERR01]" in target.read_text()
+
+
+def test_bare_noqa_left_alone(tmp_path):
+    target = tmp_path / "mod.py"
+    before = "stamp = time.time()  # repro: noqa\n"
+    target.write_text(before)
+    assert add_noqa([finding(str(target), 1)]) == {}
+    assert target.read_text() == before
+
+
+def test_no_findings_no_edits(tmp_path):
+    assert add_noqa([]) == {}

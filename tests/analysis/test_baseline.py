@@ -1,0 +1,92 @@
+"""The findings baseline: normalization, persistence, and the ratchet."""
+
+import json
+
+import pytest
+
+from repro.analysis.base import Finding
+from repro.analysis.baseline import (
+    BASELINE_SCHEMA_VERSION,
+    baseline_counts,
+    compare_to_baseline,
+    load_baseline,
+    normalize_path,
+    write_baseline,
+)
+from repro.errors import ConfigurationError
+
+
+def finding(rule="WIRE01", path="src/repro/security/keydist.py", line=33):
+    return Finding(rule=rule, severity="error", path=path, line=line, message="m")
+
+
+class TestNormalizePath:
+    def test_absolute_and_relative_agree(self):
+        relative = normalize_path("src/repro/security/keydist.py")
+        absolute = normalize_path("/root/repo/src/repro/security/keydist.py")
+        assert relative == absolute == "src/repro/security/keydist.py"
+
+    def test_path_without_src_keeps_shape(self):
+        assert normalize_path("/tmp/pkg/mod.py") == "tmp/pkg/mod.py"
+
+
+class TestPersistence:
+    def test_roundtrip(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        write_baseline([finding(), finding(), finding(rule="DET03")], target)
+        counts = load_baseline(target)
+        assert counts == {
+            "WIRE01": {"src/repro/security/keydist.py": 2},
+            "DET03": {"src/repro/security/keydist.py": 1},
+        }
+        payload = json.loads(target.read_text())
+        assert payload["schema_version"] == BASELINE_SCHEMA_VERSION
+
+    def test_missing_file_is_configuration_error(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            load_baseline(tmp_path / "ghost.json")
+
+    def test_bad_json_is_configuration_error(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        target.write_text("{nope")
+        with pytest.raises(ConfigurationError):
+            load_baseline(target)
+
+    def test_wrong_schema_version_rejected(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        target.write_text(json.dumps({"schema_version": 99, "counts": {}}))
+        with pytest.raises(ConfigurationError):
+            load_baseline(target)
+
+
+class TestRatchet:
+    def test_matching_counts_pass(self):
+        baseline = baseline_counts([finding()])
+        regressions, improvements = compare_to_baseline([finding()], baseline)
+        assert regressions == [] and improvements == []
+
+    def test_new_finding_is_a_regression(self):
+        baseline = baseline_counts([finding()])
+        regressions, _ = compare_to_baseline(
+            [finding(), finding(rule="CRY02", path="src/repro/x.py")], baseline
+        )
+        assert len(regressions) == 1
+        assert "CRY02" in regressions[0] and "baseline accepts 0" in regressions[0]
+
+    def test_count_increase_at_same_site_is_a_regression(self):
+        baseline = baseline_counts([finding()])
+        regressions, _ = compare_to_baseline([finding(), finding(line=40)], baseline)
+        assert len(regressions) == 1
+        assert "2 finding(s), baseline accepts 1" in regressions[0]
+
+    def test_fixed_finding_is_an_improvement_not_a_failure(self):
+        baseline = baseline_counts([finding()])
+        regressions, improvements = compare_to_baseline([], baseline)
+        assert regressions == []
+        assert len(improvements) == 1 and "--update-baseline" in improvements[0]
+
+    def test_line_moves_do_not_break_the_gate(self):
+        # counts, not line numbers, are the ledger currency
+        baseline = baseline_counts([finding(line=33)])
+        regressions, improvements = compare_to_baseline([finding(line=90)], baseline)
+        assert regressions == [] and improvements == []

@@ -91,3 +91,34 @@ class TestCRY01StaysQuiet:
     def test_noqa_suppresses(self):
         source = "def f(secret):\n    return repr(secret)  # repro: noqa[CRY01]\n"
         assert cry01(source) == []
+
+
+class TestAccessChainRegressions:
+    """False positives fixed when CRY01 grew chain awareness: metadata and
+    mapping access spelled through subscripts must stay quiet, while key
+    material reached *through* a subscript must flag."""
+
+    def test_secret_under_constant_subscript_flags(self):
+        findings = cry01('def f(meta):\n    return f"{meta[\'private_key\']}"\n')
+        assert len(findings) == 1
+        assert "private_key" in findings[0].message
+
+    def test_metadata_key_of_secret_mapping_is_fine(self):
+        assert cry01('def f(keys):\n    return f"{keys[\'count\']}"\n') == []
+
+    def test_nested_metadata_subscript_is_fine(self):
+        source = 'def f(report):\n    return f"{report[\'keys\'][\'fingerprint\']}"\n'
+        assert cry01(source) == []
+
+    def test_sliced_bare_key_is_fine(self):
+        # a digest-derived session tag, not key material (broker_ops.py
+        # builds exactly this: f"session-{key[:8]}" from a hex digest)
+        source = 'def f(session_id):\n    key = session_id.value.hex\n    return f"session-{key[:8]}"\n'
+        assert cry01(source) == []
+
+    def test_sliced_specific_key_still_flags(self):
+        findings = cry01('def f(trace_key):\n    return f"{trace_key[:8]}"\n')
+        assert len(findings) == 1
+
+    def test_metadata_attribute_access_is_fine(self):
+        assert cry01('def f(ring):\n    return f"{ring.keys.count}"\n') == []

@@ -1,0 +1,166 @@
+"""The taint engine: propagation, sanitizers, summaries, loop carry."""
+
+import ast
+
+from repro.analysis.base import FileContext
+from repro.analysis.dataflow import (
+    SummaryTable,
+    TaintSpec,
+    TaintTracker,
+    tainted_labels,
+)
+from repro.analysis.project import ProjectIndex
+
+
+def toy_spec():
+    """Sources: ``taint()`` calls and names starting with ``secret``;
+    sanitizer: ``clean()``; metadata attr ``size`` stops propagation."""
+    return TaintSpec(
+        source_call=lambda origin, node: (
+            "taint" if origin and origin.endswith("taint") else None
+        ),
+        source_expr=lambda node: (
+            node.id
+            if isinstance(node, ast.Name) and node.id.startswith("secret")
+            else None
+        ),
+        sanitizer=lambda origin, node: bool(origin) and origin.endswith("clean"),
+        propagate_access=lambda part, label: None if part == "size" else label,
+    )
+
+
+def tracker_for(source, **kwargs):
+    ctx = FileContext("toy.py", source)
+    fn = ctx.tree.body[-1]
+    return TaintTracker(ctx, toy_spec(), **kwargs), fn
+
+
+def sink_lines(source, **kwargs):
+    """Lines of ``emit(...)`` calls that receive tainted arguments."""
+    tracker, fn = tracker_for(source, **kwargs)
+    hits = []
+
+    def visitor(node, taint_of):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "emit"
+            and list(tainted_labels(node, taint_of))
+        ):
+            hits.append(node.lineno)
+
+    tracker.run(fn, visitor)
+    return hits
+
+
+class TestPropagation:
+    def test_assignment_chain(self):
+        assert sink_lines("def f():\n    a = taint()\n    b = a\n    emit(b)\n") == [4]
+
+    def test_reassignment_clears(self):
+        source = "def f():\n    a = taint()\n    a = 1\n    emit(a)\n"
+        assert sink_lines(source) == []
+
+    def test_sanitizer_stops_flow(self):
+        source = "def f():\n    a = taint()\n    b = clean(a)\n    emit(b)\n"
+        assert sink_lines(source) == []
+
+    def test_metadata_access_stops_flow(self):
+        source = "def f():\n    a = taint()\n    emit(a.size)\n"
+        assert sink_lines(source) == []
+
+    def test_other_access_keeps_flow(self):
+        source = "def f():\n    a = taint()\n    emit(a.material)\n"
+        assert sink_lines(source) == [3]
+
+    def test_call_args_propagate(self):
+        source = "def f():\n    a = taint()\n    emit(int(a))\n"
+        assert sink_lines(source) == [3]
+
+    def test_containers_and_fstrings(self):
+        assert sink_lines("def f():\n    a = taint()\n    emit([a])\n") == [3]
+        assert sink_lines('def f():\n    a = taint()\n    emit(f"x={a}")\n') == [3]
+
+    def test_tuple_unpacking_is_elementwise(self):
+        source = "def f():\n    a, b = taint(), 1\n    emit(b)\n    emit(a)\n"
+        assert sink_lines(source) == [4]
+
+    def test_loop_carried_taint_reaches_sink(self):
+        source = (
+            "def f(items):\n"
+            "    a = 1\n"
+            "    for _ in items:\n"
+            "        emit(a)\n"
+            "        a = taint()\n"
+        )
+        # second traversal of the loop body sees the carried assignment
+        assert sink_lines(source) == [4]
+
+    def test_source_expr_names(self):
+        assert sink_lines("def f(secret_key):\n    emit(secret_key)\n") == [2]
+
+
+class TestReturnedTaint:
+    def test_direct_and_via_assignment(self):
+        tracker, fn = tracker_for("def f():\n    a = taint()\n    return a\n")
+        tracker.run(fn)
+        assert tracker.returned_taint(fn) == "taint"
+
+    def test_clean_return(self):
+        tracker, fn = tracker_for("def f():\n    return 1\n")
+        tracker.run(fn)
+        assert tracker.returned_taint(fn) is None
+
+
+class TestSummaryTable:
+    def build(self, source, tmp_path):
+        target = tmp_path / "mod.py"
+        target.write_text(source)
+        index = ProjectIndex()
+        info = index.add(FileContext(str(target), source))
+
+        def probe(tracker, node):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "emit"
+            ):
+                return "the emit sink"
+            return None
+
+        return index, info, SummaryTable(index, toy_spec(), sink_probe=probe)
+
+    def test_returns_taint_summary(self, tmp_path):
+        index, info, table = self.build("def make():\n    return taint()\n", tmp_path)
+        call = ast.parse("make()", mode="eval").body
+        assert index.resolve_call(info, call) is not None
+        assert table.lookup(info, call, None).returns_taint == "taint"
+
+    def test_sink_params_summary(self, tmp_path):
+        source = "def dump(journal, material):\n    emit(material)\n"
+        _index, info, table = self.build(source, tmp_path)
+        call = ast.parse("dump(j, m)", mode="eval").body
+        summary = table.lookup(info, call, None)
+        assert summary.sink_params == {"material": "the emit sink"}
+
+    def test_one_hop_taint_through_helper(self, tmp_path):
+        source = (
+            "def make():\n"
+            "    return taint()\n"
+            "def use():\n"
+            "    v = make()\n"
+            "    emit(v)\n"
+        )
+        _index, info, table = self.build(source, tmp_path)
+        use = info.functions["use"]
+        tracker = TaintTracker(
+            info.ctx, toy_spec(), resolve_summary=lambda c: table.lookup(info, c, None)
+        )
+        hits = []
+
+        def visitor(node, taint_of):
+            if isinstance(node, ast.Call) and list(tainted_labels(node, taint_of)):
+                hits.append(node.lineno)
+
+        tracker.run(use, visitor)
+        assert 5 in hits

@@ -1,0 +1,137 @@
+"""ProjectIndex: module naming, symbol tables, and call resolution."""
+
+import ast
+
+from pathlib import Path
+
+from repro.analysis.base import FileContext
+from repro.analysis.project import (
+    ProjectIndex,
+    call_param_pairs,
+    enclosing_class_map,
+    module_name_for,
+)
+
+REPO = Path(__file__).resolve().parent.parent.parent
+
+ALPHA = '''
+GREETING = "hello"
+
+
+def top(x):
+    return x
+
+
+class Box:
+    def put(self, item):
+        return self.wrap(item)
+
+    def wrap(self, item):
+        return [item]
+'''
+
+BETA = """
+from pkg.alpha import GREETING, top
+
+
+def caller(value):
+    return top(value)
+
+
+def greet():
+    return GREETING
+"""
+
+
+def build_index(tmp_path):
+    pkg = tmp_path / "pkg"
+    pkg.mkdir()
+    (pkg / "__init__.py").write_text("")
+    (pkg / "alpha.py").write_text(ALPHA)
+    (pkg / "beta.py").write_text(BETA)
+    index = ProjectIndex()
+    for name in ("__init__.py", "alpha.py", "beta.py"):
+        path = pkg / name
+        index.add(FileContext(str(path), path.read_text()))
+    return index
+
+
+def first_call(fn):
+    return next(n for n in ast.walk(fn) if isinstance(n, ast.Call))
+
+
+class TestModuleNaming:
+    def test_real_tree_names(self):
+        path = REPO / "src" / "repro" / "tracing" / "entity.py"
+        assert module_name_for(path) == "repro.tracing.entity"
+
+    def test_init_maps_to_package(self):
+        path = REPO / "src" / "repro" / "analysis" / "__init__.py"
+        assert module_name_for(path) == "repro.analysis"
+
+    def test_loose_file_is_its_stem(self, tmp_path):
+        target = tmp_path / "loose.py"
+        target.write_text("")
+        assert module_name_for(target) == "loose"
+
+
+class TestSymbolTable:
+    def test_functions_methods_and_constants(self, tmp_path):
+        index = build_index(tmp_path)
+        alpha = index.modules["pkg.alpha"]
+        assert set(alpha.functions) == {"top", "Box.put", "Box.wrap"}
+        assert alpha.constants == {"GREETING": "hello"}
+
+    def test_enclosing_class_map(self, tmp_path):
+        alpha = build_index(tmp_path).modules["pkg.alpha"]
+        owners = enclosing_class_map(alpha)
+        assert owners["Box.put"] == "Box"
+        assert owners["top"] is None
+
+
+class TestCallResolution:
+    def test_bare_name_same_module(self, tmp_path):
+        index = build_index(tmp_path)
+        beta = index.modules["pkg.beta"]
+        call = first_call(beta.functions["caller"])
+        target, qualname = index.resolve_call(beta, call)
+        assert (target.name, qualname) == ("pkg.alpha", "top")
+
+    def test_self_method_needs_current_class(self, tmp_path):
+        index = build_index(tmp_path)
+        alpha = index.modules["pkg.alpha"]
+        call = first_call(alpha.functions["Box.put"])
+        assert index.resolve_call(alpha, call) is None
+        target, qualname = index.resolve_call(alpha, call, current_class="Box")
+        assert (target.name, qualname) == ("pkg.alpha", "Box.wrap")
+
+    def test_unknown_call_is_none(self, tmp_path):
+        index = build_index(tmp_path)
+        beta = index.modules["pkg.beta"]
+        call = ast.parse("mystery(1)", mode="eval").body
+        assert index.resolve_call(beta, call) is None
+
+    def test_imported_constant_resolves(self, tmp_path):
+        index = build_index(tmp_path)
+        beta = index.modules["pkg.beta"]
+        ret = beta.functions["greet"].body[0]
+        assert index.resolve_constant(beta, ret.value) == "hello"
+
+    def test_call_param_pairs_positional_and_keyword(self, tmp_path):
+        index = build_index(tmp_path)
+        beta = index.modules["pkg.beta"]
+        call = first_call(beta.functions["caller"])
+        pairs = call_param_pairs(index, beta, call)
+        assert [(name, type(arg)) for name, arg in pairs] == [("x", ast.Name)]
+
+
+class TestLookupHelpers:
+    def test_find_module_by_suffix(self, tmp_path):
+        index = build_index(tmp_path)
+        assert index.find_module("pkg/alpha.py").name == "pkg.alpha"
+        assert index.find_module("nope/missing.py") is None
+
+    def test_by_path(self, tmp_path):
+        index = build_index(tmp_path)
+        path = str(tmp_path / "pkg" / "beta.py")
+        assert index.by_path(path).name == "pkg.beta"

@@ -112,3 +112,23 @@ def test_perf_gate_runs_both_codecs_against_committed_baselines(workflow):
     )
     assert any("--codec json" in run for run in runs)
     assert any("--codec compact" in run for run in runs)
+
+
+def test_analyze_job_enforces_the_baseline_ratchet(workflow):
+    runs = [step.get("run") or "" for step in workflow["jobs"]["analyze"]["steps"]]
+    gate = next(run for run in runs if "repro analyze src" in run)
+    assert "--baseline analysis_baseline.json" in gate
+    assert "--sarif analysis.sarif" in gate
+    assert "--stats" in gate
+
+
+def test_analyze_job_uploads_sarif_to_code_scanning(workflow):
+    steps = workflow["jobs"]["analyze"]["steps"]
+    upload = next(
+        step
+        for step in steps
+        if "codeql-action/upload-sarif" in (step.get("uses") or "")
+    )
+    assert upload["with"]["sarif_file"] == "analysis.sarif"
+    assert upload.get("if") == "always()"
+    assert workflow["jobs"]["analyze"]["permissions"]["security-events"] == "write"

@@ -1,21 +1,16 @@
 #!/usr/bin/env python3
 """Instrument-name drift gate: src/repro vs docs/OBSERVABILITY.md.
 
-Every instrument the code registers must be documented, and every
-instrument the documentation lists must still exist in the code — in
-both directions, so docs/OBSERVABILITY.md stays the trustworthy index
-perf work (docs/PERFORMANCE.md) relies on.
+Thin wrapper over the shared extraction in
+``repro.analysis.rules.observability`` — the same functions the OBS02
+analysis rule runs — so this gate and ``repro analyze`` can never
+disagree about what counts as an instrument.
 
-Code side: AST scan of ``src/repro`` for calls to the registry factories
-(``counter`` / ``gauge`` / ``histogram`` / ``timer``) on a registry-like
-receiver — the same heuristic the OBS01 domain-lint rule uses.  String
-literals yield exact names; f-strings yield their literal
-``<family>.<...>.`` prefix (e.g. ``crypto.ms.``).
-
-Docs side: backticked tokens in docs/OBSERVABILITY.md whose first
-segment is a known instrument family.  Placeholder segments in angle
-brackets (``crypto.ms.<op>``) match any code name or f-string prefix
-under the literal part before the placeholder.
+Checks both directions: every instrument the code registers must be
+documented (OBS02's direction, with source locations when run via
+``repro analyze``), and every documented instrument must still exist in
+the code (the staleness direction only this tool covers, since stale doc
+lines have no code anchor).
 
 Exit status 0 when both directions are clean; 1 with a finding list
 otherwise (CI's ``analyze`` job runs this).
@@ -25,158 +20,39 @@ from __future__ import annotations
 
 import ast
 import pathlib
-import re
 import sys
 
 REPO = pathlib.Path(__file__).resolve().parents[1]
 SRC = REPO / "src" / "repro"
 DOC = REPO / "docs" / "OBSERVABILITY.md"
 
-INSTRUMENT_FACTORIES = {"counter", "gauge", "histogram", "timer"}
+sys.path.insert(0, str(REPO / "src"))
 
-#: First name segments that denote instruments (mirrors OBS01's family
-#: list; docs tokens outside these families are not instrument names).
-KNOWN_FAMILIES = {
-    "analysis",
-    "auth",
-    "broker",
-    "codec",
-    "crypto",
-    "faults",
-    "frame",
-    "tdn",
-    "trace",
-    "tracker",
-    "transport",
-}
-
-#: Backticked dotted tokens in the doc that share a family prefix but are
-#: journal/monitor event names (``Monitor.increment``), not registry
-#: instruments.
-NON_INSTRUMENT_DOC_TOKENS = {
-    "trace.suppressed_no_subscriber",
-    "trace.sessions_created",
-    "trace.sessions_superseded",
-}
-
-_DOC_TOKEN_RE = re.compile(r"`([a-z][a-z0-9_]*(?:\.[a-z0-9_<>\-]+)+)`")
-
-
-def _receiver_is_registry(receiver: ast.expr) -> bool:
-    tail = (
-        receiver.id
-        if isinstance(receiver, ast.Name)
-        else receiver.attr if isinstance(receiver, ast.Attribute) else ""
-    ).lower()
-    return "metric" in tail or "registr" in tail
-
-
-def _module_string_constants(tree: ast.Module) -> dict[str, str]:
-    """Module-level ``NAME = "literal"`` assignments (instrument aliases)."""
-    constants: dict[str, str] = {}
-    for node in tree.body:
-        if (
-            isinstance(node, ast.Assign)
-            and len(node.targets) == 1
-            and isinstance(node.targets[0], ast.Name)
-            and isinstance(node.value, ast.Constant)
-            and isinstance(node.value.value, str)
-        ):
-            constants[node.targets[0].id] = node.value.value
-    return constants
+from repro.analysis.rules.observability import (  # noqa: E402
+    collect_code_names_from_trees,
+    doc_instrument_names,
+    instrument_drift,
+)
 
 
 def collect_code_names() -> tuple[set[str], set[str]]:
     """(exact instrument names, f-string literal prefixes) in src/repro."""
-    names: set[str] = set()
-    prefixes: set[str] = set()
-    for path in sorted(SRC.rglob("*.py")):
-        tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
-        constants = _module_string_constants(tree)
-        for node in ast.walk(tree):
-            if not (
-                isinstance(node, ast.Call)
-                and isinstance(node.func, ast.Attribute)
-                and node.func.attr in INSTRUMENT_FACTORIES
-                and node.args
-                and _receiver_is_registry(node.func.value)
-            ):
-                continue
-            arg = node.args[0]
-            if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
-                names.add(arg.value)
-            elif isinstance(arg, ast.Name) and arg.id in constants:
-                names.add(constants[arg.id])
-            elif isinstance(arg, ast.JoinedStr) and arg.values:
-                first = arg.values[0]
-                if isinstance(first, ast.Constant) and isinstance(first.value, str):
-                    prefixes.add(first.value)
-    return names, prefixes
+    trees = (
+        ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+        for path in sorted(SRC.rglob("*.py"))
+    )
+    return collect_code_names_from_trees(trees)
 
 
 def collect_doc_names() -> tuple[set[str], set[str]]:
     """(exact documented names, placeholder prefixes) in OBSERVABILITY.md."""
-    exact: set[str] = set()
-    placeholder_prefixes: set[str] = set()
-    for token in _DOC_TOKEN_RE.findall(DOC.read_text(encoding="utf-8")):
-        if token.split(".", 1)[0] not in KNOWN_FAMILIES:
-            continue
-        if token in NON_INSTRUMENT_DOC_TOKENS:
-            continue
-        if "<" in token:
-            placeholder_prefixes.add(token.split("<", 1)[0])
-        else:
-            exact.add(token)
-    return exact, placeholder_prefixes
+    return doc_instrument_names(DOC.read_text(encoding="utf-8"))
 
 
 def main() -> int:
     code_names, code_prefixes = collect_code_names()
     doc_names, doc_prefixes = collect_doc_names()
-    findings: list[str] = []
-
-    def documented(name: str) -> bool:
-        if name in doc_names:
-            return True
-        return any(name.startswith(prefix) for prefix in doc_prefixes)
-
-    for name in sorted(code_names):
-        if not documented(name):
-            findings.append(
-                f"undocumented instrument: {name!r} is registered in code "
-                "but missing from docs/OBSERVABILITY.md"
-            )
-    for prefix in sorted(code_prefixes):
-        if not (
-            prefix in doc_prefixes
-            or any(name.startswith(prefix) for name in doc_names)
-        ):
-            findings.append(
-                f"undocumented instrument prefix: f-string names under "
-                f"{prefix!r} have no entry in docs/OBSERVABILITY.md"
-            )
-
-    def exists_in_code(name: str) -> bool:
-        if name in code_names:
-            return True
-        return any(name.startswith(prefix) for prefix in code_prefixes)
-
-    for name in sorted(doc_names):
-        if not exists_in_code(name):
-            findings.append(
-                f"stale documentation: {name!r} appears in "
-                "docs/OBSERVABILITY.md but no code registers it"
-            )
-    for prefix in sorted(doc_prefixes):
-        if not (
-            prefix in code_prefixes
-            or any(name.startswith(prefix) for name in code_names)
-        ):
-            findings.append(
-                f"stale documentation: placeholder family {prefix!r}* has "
-                "no matching instrument in code"
-            )
-
+    findings = instrument_drift(code_names, code_prefixes, doc_names, doc_prefixes)
     for finding in findings:
         print(f"METRIC-DOCS: {finding}")
     if not findings:
