@@ -33,6 +33,7 @@ KNOWN_FAMILIES = frozenset(
         "codec",
         "crypto",
         "faults",
+        "fed",
         "frame",
         "tdn",
         "trace",

@@ -62,6 +62,7 @@ def run_ping_heavy(
         token_cache=not legacy_hot_paths,
         ping_coalescing=not legacy_hot_paths,
         tdn_query_cache=not legacy_hot_paths,
+        per_direction_link_rng=not legacy_hot_paths,
         codec=codec,
     )
     entities = [

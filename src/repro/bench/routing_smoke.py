@@ -87,14 +87,23 @@ def run_routing_smoke(
     duration_ms: float = 30_000.0,
     detach_at_ms: float = 20_000.0,
     legacy_hot_paths: bool = False,
+    federation: bool = False,
 ) -> dict:
     """Run the scenario and return the routing counters as a snapshot dict.
 
     ``legacy_hot_paths`` disables the token-verification cache, ping
-    coalescing and the TDN discovery cache (docs/PERFORMANCE.md),
-    reproducing the pre-optimization wire behaviour pinned by
+    coalescing, the TDN discovery cache (docs/PERFORMANCE.md) and the
+    per-direction duplex-link jitter streams, reproducing the
+    pre-optimization wire behaviour pinned by
     ``benchmarks/results/routing_seed_legacy.json``.  The codec is pinned
     to ``json`` so committed seeds stay valid under the CI codec matrix.
+
+    ``federation`` runs the same scenario on the summarized-interest
+    control plane; with this scenario's handful of patterns the
+    summaries stay exact, so every routing counter must match the
+    verbatim default exactly (the equivalence suite asserts that).  The
+    pattern-entry gauge alone reads lower, since federated peers no
+    longer mirror remote interest into their local indexes.
     """
     from repro import build_deployment
 
@@ -104,6 +113,8 @@ def run_routing_smoke(
         token_cache=not legacy_hot_paths,
         ping_coalescing=not legacy_hot_paths,
         tdn_query_cache=not legacy_hot_paths,
+        per_direction_link_rng=not legacy_hot_paths,
+        federation=federation,
         codec="json",
     )
     entity = dep.add_traced_entity("demo-service")

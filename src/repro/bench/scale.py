@@ -1,0 +1,247 @@
+"""Deterministic fabric-scale scenario: many brokers, 10⁴–10⁶ interests.
+
+The scalability claim (§4) is about fabrics far past the paper's
+three-broker chain: tens of brokers tracking the availability of
+10⁵–10⁶ entities.  This module builds that fabric shape — ``brokers``
+brokers in a ring, one trace-topic subscription per simulated entity
+spread round-robin across them — publishes a seeded sample of trace
+events from far-side brokers, and snapshots the *deterministic*
+counters: control-plane floods, summary updates, delivery totals,
+digest false positives, pattern/shard gauges.
+
+Everything here is reproducible bit-for-bit per seed (RandomStreams +
+blake2b digests, no wall clock), which is what lets CI gate a reduced
+point against the committed ``benchmarks/results/scale_seed.json``.
+The *measured* curve — RSS and per-event wall time per point, one
+subprocess per point — lives in ``benchmarks/bench_scale.py``, which
+drives :func:`run_scale_point` and commits
+``benchmarks/results/scale_curve.{txt,json}``.
+
+The headline numbers the committed curve must show (docs/ROADMAP.md):
+at 64 brokers / 100 000 entities the federated control plane issues
+``control.floods`` within a small multiple of the *broker* count — the
+verbatim plane would issue one flood per pattern, plus an
+O(patterns × brokers) interest table no host could hold.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.errors import ConfigurationError
+from repro.messaging.broker_network import BrokerNetwork
+from repro.messaging.message import Message, reset_message_ids
+from repro.messaging.topics import Topic
+from repro.sim.engine import Simulator
+
+#: The committed CI smoke point (kept small: seconds, tens of MB).
+SMOKE_BROKERS = 8
+SMOKE_ENTITIES = 5_000
+SMOKE_EVENTS = 500
+
+#: Counters pinned exactly by the scale seed snapshot.
+SCALE_COUNTERS = (
+    "broker.msgs.delivered",
+    "broker.msgs.forwarded_out",
+    "broker.msgs.unroutable",
+    "broker.interest.stale_forwards",
+    "fed.forwards.false_positive",
+    "fed.summary.updates",
+    "fed.summary.replays",
+)
+
+
+def entity_topic(index: int) -> str:
+    """The trace topic entity ``index`` is tracked on."""
+    return f"Traces/{index:06x}/Change"
+
+
+def run_scale_point(
+    brokers: int = SMOKE_BROKERS,
+    entities: int = SMOKE_ENTITIES,
+    events: int = SMOKE_EVENTS,
+    seed: int = 42,
+    federation: bool = True,
+) -> dict:
+    """Run one fabric-scale point and return its deterministic snapshot.
+
+    ``brokers`` ring-connected brokers; ``entities`` per-entity trace
+    subscriptions spread round-robin; ``events`` publishes to seeded
+    entity choices, each injected at the broker diametrically opposite
+    the subscriber (worst-case hop count on a ring).  ``federation``
+    selects the summarized control plane; the verbatim plane is only
+    tractable at small points — its interest table is
+    O(entities × brokers) — so the curve runs it for comparison where it
+    fits and federated-only beyond.
+    """
+    if brokers < 2:
+        raise ConfigurationError(f"need at least 2 brokers, got {brokers}")
+    reset_message_ids()
+    sim = Simulator()
+    network = BrokerNetwork(sim, seed=seed, federation=federation)
+    ids = [f"b{i:03d}" for i in range(brokers)]
+    for broker_id in ids:
+        network.add_broker(broker_id)
+    for i in range(brokers):
+        network.connect_brokers(ids[i], ids[(i + 1) % brokers])
+
+    received = [0]
+
+    def on_trace(message: Message) -> None:
+        received[0] += 1
+
+    for index in range(entities):
+        network.broker(ids[index % brokers]).subscribe_local(
+            entity_topic(index), on_trace
+        )
+
+    rng = network.streams.stream("scale.publish")
+    offset = brokers // 2
+    for event in range(events):
+        index = rng.randrange(entities)
+        origin = ids[(index + offset) % brokers]
+        network.broker(origin).publish_from_broker(
+            Message(
+                topic=Topic(entity_topic(index)),
+                body=event,
+                source=origin,
+            )
+        )
+    sim.run()
+
+    metrics = network.monitor.metrics
+    counters = {name: metrics.counter_value(name) for name in SCALE_COUNTERS}
+    digest_summaries = 0
+    if network.federation is not None:
+        digest_summaries = sum(
+            1 for summary in network.federation.iter_summaries() if not summary.exact
+        )
+    return {
+        "scenario": "fabric-scale",
+        "brokers": brokers,
+        "entities": entities,
+        "events": events,
+        "seed": seed,
+        "federation": federation,
+        "counters": counters,
+        "received": received[0],
+        "control_floods": network.monitor.count("control.floods"),
+        "interest_patterns_gauge": metrics.gauge_value("broker.interest.patterns"),
+        "fed_patterns_gauge": metrics.gauge_value("fed.interest.patterns"),
+        "shards_gauge": metrics.gauge_value("broker.interest.shards"),
+        "digest_summaries": digest_summaries,
+    }
+
+
+def compare_to_seed(snapshot: dict, seed_snapshot: dict) -> list[str]:
+    """Exact-match comparison against the committed scale seed.
+
+    Scale runs are bit-identical per seed (same reasoning as the chaos
+    gate): any drift is either nondeterminism or a behaviour change that
+    needs a deliberate seed refresh.
+    """
+    findings: list[str] = []
+    for field in (
+        "scenario",
+        "brokers",
+        "entities",
+        "events",
+        "seed",
+        "federation",
+        "received",
+        "control_floods",
+        "interest_patterns_gauge",
+        "fed_patterns_gauge",
+        "shards_gauge",
+        "digest_summaries",
+    ):
+        if snapshot.get(field) != seed_snapshot.get(field):
+            findings.append(
+                f"{field} drifted: {snapshot.get(field)!r} != "
+                f"seed {seed_snapshot.get(field)!r}"
+            )
+    live, seed = snapshot.get("counters", {}), seed_snapshot.get("counters", {})
+    for name in sorted({*live, *seed}):
+        if live.get(name, 0) != seed.get(name, 0):
+            findings.append(
+                f"{name} drifted: {live.get(name, 0)} != seed {seed.get(name, 0)}"
+            )
+    return findings
+
+
+def render_snapshot(snapshot: dict) -> str:
+    """Stable JSON form used for the committed seed file and CI dumps."""
+    return json.dumps(snapshot, indent=2, sort_keys=True) + "\n"
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI for one scale point: CI's ``scale-smoke`` gate.
+
+    Runs the point, optionally compares the snapshot exactly against a
+    committed seed file, and optionally enforces a peak-RSS ceiling
+    (``resource.ru_maxrss``) so interest-table memory can never silently
+    regress past what the fabric is budgeted.
+    """
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--brokers", type=int, default=SMOKE_BROKERS)
+    parser.add_argument("--entities", type=int, default=SMOKE_ENTITIES)
+    parser.add_argument("--events", type=int, default=SMOKE_EVENTS)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument(
+        "--verbatim",
+        action="store_true",
+        help="run the legacy per-pattern control plane instead of federation",
+    )
+    parser.add_argument(
+        "--compare",
+        metavar="SEED_JSON",
+        help="committed seed snapshot to compare against (exact match)",
+    )
+    parser.add_argument(
+        "--max-rss-mb",
+        type=float,
+        default=None,
+        help="fail if peak RSS exceeds this many MiB",
+    )
+    args = parser.parse_args(argv)
+
+    snapshot = run_scale_point(
+        brokers=args.brokers,
+        entities=args.entities,
+        events=args.events,
+        seed=args.seed,
+        federation=not args.verbatim,
+    )
+    sys.stdout.write(render_snapshot(snapshot))
+
+    status = 0
+    if args.compare:
+        with open(args.compare, encoding="utf-8") as handle:
+            seed_snapshot = json.load(handle)
+        findings = compare_to_seed(snapshot, seed_snapshot)
+        for finding in findings:
+            print(f"SCALE-SMOKE: {finding}", file=sys.stderr)
+        if findings:
+            status = 1
+        else:
+            print(f"scale smoke clean vs {args.compare}", file=sys.stderr)
+    if args.max_rss_mb is not None:
+        import resource
+
+        rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+        rss_mb = rss_kb / 1024.0
+        print(f"peak RSS: {rss_mb:.1f} MiB (ceiling {args.max_rss_mb})", file=sys.stderr)
+        if rss_mb > args.max_rss_mb:
+            print(
+                f"SCALE-SMOKE: peak RSS {rss_mb:.1f} MiB exceeds "
+                f"ceiling {args.max_rss_mb} MiB",
+                file=sys.stderr,
+            )
+            status = 1
+    return status
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI
+    raise SystemExit(main())

@@ -22,6 +22,7 @@ from repro.crypto.rsa import RSAPublicKey
 from repro.errors import ConfigurationError
 from repro.messaging.broker_network import BrokerNetwork
 from repro.messaging.discovery import BrokerDiscoveryService
+from repro.messaging.federation import FederationConfig
 from repro.obs import EventJournal, MetricsRegistry
 from repro.sim.engine import Simulator
 from repro.sim.monitor import Monitor
@@ -175,6 +176,8 @@ def build_deployment(
     ping_coalescing: bool = True,
     codec: str | None = None,
     tdn_query_cache: bool = True,
+    federation: FederationConfig | bool | None = None,
+    per_direction_link_rng: bool = True,
 ) -> Deployment:
     """Build a complete deployment.
 
@@ -194,6 +197,20 @@ def build_deployment(
     environment variable (the CI codec matrix), then the transport
     profile's own ``codec`` field, then ``json``.  Harnesses that compare
     against committed seed snapshots pin ``codec="json"`` explicitly.
+
+    ``federation`` switches the broker fabric's control plane from
+    verbatim per-pattern interest flooding to summarized interest
+    exchange (:mod:`repro.messaging.federation`): pass ``True`` for the
+    default :class:`FederationConfig` or a config instance to tune the
+    hot-set / digest parameters.  Off by default — the committed seed
+    scenarios pin the verbatim plane — and bit-identical to it anyway
+    while every broker's pattern count stays within the hot-set limit.
+
+    ``per_direction_link_rng`` controls duplex-link jitter derivation:
+    each direction of a broker-to-broker link draws from its own named
+    stream (the fixed behaviour), so traffic on one direction cannot
+    perturb latencies on the other.  ``False`` restores the historical
+    shared stream that the ``*_legacy.json`` seed snapshots pin.
     """
     from repro.wire.codec import CODEC_ENV_VAR, get_codec
 
@@ -216,6 +233,8 @@ def build_deployment(
         cost_scale=cost_scale,
         ntp_model=ntp_model,
         codec=resolved_codec,
+        federation=federation,
+        per_direction_link_rng=per_direction_link_rng,
     )
 
     ids = list(broker_ids)

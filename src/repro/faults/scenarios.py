@@ -156,13 +156,21 @@ def scenario_plan(name: str) -> FaultPlan:
     return builder()
 
 
-def build_chaos_deployment(seed: int = 42, legacy_hot_paths: bool = False):
+def build_chaos_deployment(
+    seed: int = 42, legacy_hot_paths: bool = False, federation: bool = False
+):
     """The shared three-broker-ring deployment every scenario runs on.
 
     ``legacy_hot_paths`` disables the token-verification cache, ping
-    coalescing and the TDN discovery cache (docs/PERFORMANCE.md) so the
-    run reproduces the pre-optimization behaviour pinned by
+    coalescing, the TDN discovery cache (docs/PERFORMANCE.md) and the
+    per-direction duplex-link jitter streams so the run reproduces the
+    pre-optimization behaviour pinned by
     ``benchmarks/results/chaos_seed_legacy.json``.
+
+    ``federation`` swaps in the summarized-interest control plane
+    (:mod:`repro.messaging.federation`); at chaos-scenario pattern counts
+    the summaries stay exact, so snapshots must match the verbatim plane
+    bit-for-bit (the federation equivalence suite pins this).
 
     The codec is pinned to ``json`` regardless of ``REPRO_CODEC``: chaos
     snapshots are compared bit-for-bit against committed seeds, and those
@@ -178,6 +186,8 @@ def build_chaos_deployment(seed: int = 42, legacy_hot_paths: bool = False):
         token_cache=not legacy_hot_paths,
         ping_coalescing=not legacy_hot_paths,
         tdn_query_cache=not legacy_hot_paths,
+        per_direction_link_rng=not legacy_hot_paths,
+        federation=federation,
         codec="json",
     )
     return dep
@@ -188,6 +198,7 @@ def run_scenario(
     seed: int = 42,
     duration_ms: float | None = None,
     legacy_hot_paths: bool = False,
+    federation: bool = False,
 ) -> dict:
     """Run one scenario end to end and return its snapshot dict."""
     plan = scenario_plan(name)
@@ -198,7 +209,9 @@ def run_scenario(
     # and hence sampled latencies), so the bit-identical-replay promise needs
     # the process-global counter rewound before every run.
     reset_message_ids()
-    dep = build_chaos_deployment(seed, legacy_hot_paths=legacy_hot_paths)
+    dep = build_chaos_deployment(
+        seed, legacy_hot_paths=legacy_hot_paths, federation=federation
+    )
     entity = dep.add_traced_entity(ENTITY_ID)
     tracker = dep.add_tracker(TRACKER_ID)
     tracker.interest_refresh_ms = 0.0

@@ -112,6 +112,9 @@ class Broker:
         self.routing_table: dict[str, str] = {}
         self._announce: Callable[[str, str], None] | None = None
         self._retract: Callable[[str, str], None] | None = None
+        # summarized-interest plane; when set, remote routing queries go
+        # through peer summaries instead of verbatim remote-interest rows
+        self._fed_plane = None
 
         # subscription state: one segment-trie index holds client
         # subscriptions, broker-local handlers and remote interest, so
@@ -146,13 +149,36 @@ class Broker:
         self._announce = announce
         self._retract = retract
 
+    def set_federation(self, plane) -> None:
+        """Route remote-interest queries through a summarized plane.
+
+        Installed by a federated :class:`BrokerNetwork`
+        (``federation=...``); ``plane`` is a
+        :class:`~repro.messaging.federation.FederatedInterestPlane`.
+        """
+        self._fed_plane = plane
+
+    @property
+    def federated(self) -> bool:
+        """Whether this broker routes on summarized interest."""
+        return self._fed_plane is not None
+
     def attach_client(self, client_id: str, link_to_client: Link) -> None:
         self._client_links[client_id] = link_to_client
 
     def detach_client(self, client_id: str) -> None:
         self._client_links.pop(client_id, None)
-        # patterns whose last local subscriber just vanished must be
-        # retracted, or peers keep forwarding matching traffic here forever
+        self.purge_client_subscriptions(client_id)
+
+    def purge_client_subscriptions(self, client_id: str) -> None:
+        """Drop every subscription of a client, retracting orphans.
+
+        Patterns whose last local subscriber just vanished must be
+        retracted, or peers keep forwarding matching traffic here
+        forever.  ``BrokerNetwork.remove_client`` also sweeps this across
+        every broker, so a client that detached while its broker was
+        failed cannot leave stale fabric interest behind.
+        """
         for pattern in self._subs.remove_client_everywhere(client_id):
             self._maybe_retract_interest(pattern)
 
@@ -242,7 +268,14 @@ class Broker:
             self._subs.add_remote(pattern, broker_id)
 
     def drop_remote_interest(self, pattern: str, broker_id: str) -> None:
-        self._subs.remove_remote(pattern, broker_id)
+        """Forget a peer's interest; self-retractions are ignored.
+
+        Mirrors the guard in :meth:`note_remote_interest` — a broker's
+        own retraction flood must not touch its local index, where the
+        pattern may legitimately live on for other subscribers.
+        """
+        if broker_id != self.broker_id:
+            self._subs.remove_remote(pattern, broker_id)
 
     # ------------------------------------------------------------------ ingress
 
@@ -335,11 +368,21 @@ class Broker:
 
         if self.broker_id in frame.destinations:
             if not self._subs.has_local_match(message.topic.canonical):
-                # a peer forwarded to us on stale interest: nobody here
-                # consumes this topic anymore (the bug class the interest
-                # lifecycle is meant to prevent) — count it loudly
-                self.monitor.increment("messages.forwarded_stale")
-                self.metrics.counter("broker.interest.stale_forwards").inc()
+                if (
+                    self._fed_plane is not None
+                    and not self._fed_plane.is_exact(self.broker_id)
+                ):
+                    # a digest summary matched a topic nobody here wants:
+                    # the tolerated cost of summarized interest, distinct
+                    # from the stale-interest bug class below
+                    self.monitor.increment("messages.fed_false_positive")
+                    self.metrics.counter("fed.forwards.false_positive").inc()
+                else:
+                    # a peer forwarded to us on stale interest: nobody here
+                    # consumes this topic anymore (the bug class the interest
+                    # lifecycle is meant to prevent) — count it loudly
+                    self.monitor.increment("messages.forwarded_stale")
+                    self.metrics.counter("broker.interest.stale_forwards").inc()
             yield from self._deliver_local(message)
         remaining = tuple(d for d in frame.destinations if d != self.broker_id)
         if remaining:
@@ -366,6 +409,8 @@ class Broker:
             self._forward(message.with_hop(), tuple(sorted(destinations)), exclude_neighbor=None)
 
     def _interested_brokers(self, topic: str) -> set[str]:
+        if self._fed_plane is not None:
+            return self._fed_plane.interested(topic, exclude=self.broker_id)
         return self._subs.match_remote(topic, exclude=self.broker_id)
 
     def _forward(
@@ -470,6 +515,10 @@ class Broker:
 
     def has_any_subscriber(self, topic: str) -> bool:
         """Anyone (local client, broker handler, or remote broker) interested?"""
+        if self._fed_plane is not None:
+            return self._subs.has_local_match(topic) or self._fed_plane.has_interest(
+                topic, exclude=self.broker_id
+            )
         return self._subs.has_any_match(topic, exclude_remote=self.broker_id)
 
     @property

@@ -18,6 +18,7 @@ from repro.crypto.costmodel import CryptoCostModel, CryptoOp, OpCost, PAPER_CALI
 from repro.errors import ConfigurationError, RoutingError
 from repro.messaging.broker import Broker, RoutedFrame
 from repro.messaging.client import BrokerClient
+from repro.messaging.federation import FederatedInterestPlane, FederationConfig
 from repro.messaging.routing import all_next_hops, hop_distance
 from repro.sim.engine import Simulator
 from repro.sim.machine import Machine
@@ -42,6 +43,8 @@ class BrokerNetwork:
         cost_scale: float = 1.0,
         ntp_model: NTPSkewModel | None = None,
         codec: str | None = None,
+        federation: FederationConfig | bool | None = None,
+        per_direction_link_rng: bool = True,
     ) -> None:
         self.sim = sim
         self.streams = RandomStreams(seed)
@@ -53,14 +56,33 @@ class BrokerNetwork:
         self._cost_calibration = dict(cost_calibration or PAPER_CALIBRATION)
         self._cost_scale = cost_scale
         self._ntp_model = ntp_model
+        #: Jitter-stream derivation for duplex broker links.  ``True``
+        #: (the fixed behaviour) gives each direction its own stream;
+        #: ``False`` reproduces the historical shared-stream draws that
+        #: the ``*_legacy.json`` seed snapshots pin.
+        self.per_direction_link_rng = per_direction_link_rng
+
+        #: Summarized-interest control plane (``repro.messaging.federation``);
+        #: ``None`` keeps the verbatim per-pattern flooding path.
+        self.federation: FederatedInterestPlane | None = None
+        if federation:
+            config = federation if isinstance(federation, FederationConfig) else None
+            self.federation = FederatedInterestPlane(
+                monitor=self.monitor, config=config
+            )
 
         self._machines: dict[str, Machine] = {}
         self._brokers: dict[str, Broker] = {}
         self._adjacency: dict[str, set[str]] = {}
         self._clients: dict[str, BrokerClient] = {}
+        # edges severed by partition_link, keyed as sorted pairs; kept
+        # separate from _adjacency so a crash/recover cycle of either
+        # endpoint cannot silently heal a partition (heal_link clears it)
+        self._partitioned: set[tuple[str, str]] = set()
         # fabric view of announced interest: pattern -> interested brokers.
         # Kept so brokers that join after a subscription was flooded still
         # learn it (replayed in add_broker), and pruned on retraction.
+        # The federated plane keeps its own aggregate state instead.
         self._interest: dict[str, set[str]] = {}
 
     # ---------------------------------------------------------------- machines
@@ -123,11 +145,17 @@ class BrokerNetwork:
         broker.set_interest_announcer(self._announce_interest, self._retract_interest)
         self._brokers[broker_id] = broker
         self._adjacency[broker_id] = set()
-        # replay interest flooded before this broker existed, so a late
-        # joiner routes toward established subscribers like everyone else
-        for pattern in sorted(self._interest):
-            for owner in sorted(self._interest[pattern]):
-                broker.note_remote_interest(pattern, owner)
+        if self.federation is not None:
+            # late joiners receive one summary per established peer
+            # (fed.summary.replays), not a replay of every pattern
+            self.federation.register_broker(broker_id)
+            broker.set_federation(self.federation)
+        else:
+            # replay interest flooded before this broker existed, so a late
+            # joiner routes toward established subscribers like everyone else
+            for pattern in sorted(self._interest):
+                for owner in sorted(self._interest[pattern]):
+                    broker.note_remote_interest(pattern, owner)
         self._recompute_routes()
         return broker
 
@@ -148,17 +176,26 @@ class BrokerNetwork:
             raise ConfigurationError("cannot link a broker to itself")
         broker_a, broker_b = self.broker(a), self.broker(b)
         prof = profile or self.default_profile
-        rng = self.streams.stream(f"link.{min(a, b)}.{max(a, b)}")
+        lo, hi = min(a, b), max(a, b)
+        if self.per_direction_link_rng:
+            # independent jitter streams per direction: draws on a->b can
+            # never perturb the latencies sampled on b->a
+            rng_ab = self.streams.stream(f"link.{lo}.{hi}:{a}->{b}")
+            rng_ba = self.streams.stream(f"link.{lo}.{hi}:{b}->{a}")
+        else:
+            # legacy shared stream (both directions interleave draws);
+            # kept only so *_legacy.json seed snapshots stay reproducible
+            rng_ab = rng_ba = self.streams.stream(f"link.{lo}.{hi}")
 
         link_ab = Link(
             self.sim, prof,
             receiver=lambda frame: broker_b.receive_from_neighbor(a, frame),
-            rng=rng, name=f"{a}->{b}", monitor=self.monitor, codec=self.codec,
+            rng=rng_ab, name=f"{a}->{b}", monitor=self.monitor, codec=self.codec,
         )
         link_ba = Link(
             self.sim, prof,
             receiver=lambda frame: broker_a.receive_from_neighbor(b, frame),
-            rng=rng, name=f"{b}->{a}", monitor=self.monitor, codec=self.codec,
+            rng=rng_ba, name=f"{b}->{a}", monitor=self.monitor, codec=self.codec,
         )
         broker_a.attach_neighbor(b, link_ab)
         broker_b.attach_neighbor(a, link_ba)
@@ -204,10 +241,56 @@ class BrokerNetwork:
         return self._clients[client_id]
 
     def remove_client(self, client_id: str) -> None:
-        """Forget a client so its id can be reused (e.g. after migration)."""
+        """Forget a client so its id can be reused (e.g. after migration).
+
+        Beyond disconnecting, this sweeps every broker for leftover
+        subscriptions of the departing client and retracts whatever lost
+        its last subscriber.  ``disconnect`` alone only purges the
+        currently attached broker — a client that hopped brokers, or
+        whose broker was failed at detach time, could otherwise leave
+        stale fabric-wide interest that attracts traffic forever.
+        """
         client = self._clients.pop(client_id, None)
         if client is not None and client.connected:
             client.disconnect()
+        for broker_id in sorted(self._brokers):
+            self._brokers[broker_id].purge_client_subscriptions(client_id)
+
+    def stale_interest_entries(self, client_id: str | None = None) -> list[str]:
+        """Fabric-interest rows with no live local subscriber behind them.
+
+        Diagnostic (tests assert this is empty after ``remove_client``):
+        every ``(pattern, owner)`` the control plane still advertises must
+        be backed by a local subscription on the owning broker, and if
+        ``client_id`` is given, no broker may still index a subscription
+        for that client.
+        """
+        stale: list[str] = []
+        if self.federation is not None:
+            advertised = [
+                (pattern, owner)
+                for owner in self.federation.brokers()
+                for pattern in self.federation.patterns_of(owner)
+            ]
+        else:
+            advertised = [
+                (pattern, owner)
+                for pattern in sorted(self._interest)
+                for owner in sorted(self._interest[pattern])
+            ]
+        for pattern, owner in advertised:
+            broker = self._brokers.get(owner)
+            if broker is None or not broker.subscription_index.has_local(pattern):
+                stale.append(f"{pattern} advertised by {owner} with no local subscriber")
+        if client_id is not None:
+            for broker_id in sorted(self._brokers):
+                index = self._brokers[broker_id].subscription_index
+                for pattern in index.patterns():
+                    if client_id in index.clients_for(pattern):
+                        stale.append(
+                            f"{pattern} on {broker_id} still lists client {client_id}"
+                        )
+        return stale
 
     def connect_client(
         self,
@@ -260,6 +343,7 @@ class BrokerNetwork:
         broker_a, broker_b = self.broker(a), self.broker(b)
         if b not in broker_a.neighbor_links or a not in broker_b.neighbor_links:
             raise RoutingError(f"no link between {a!r} and {b!r}")
+        self._partitioned.add((min(a, b), max(a, b)))
         self._adjacency[a].discard(b)
         self._adjacency[b].discard(a)
         self._recompute_routes()
@@ -274,10 +358,15 @@ class BrokerNetwork:
         broker_a, broker_b = self.broker(a), self.broker(b)
         if b not in broker_a.neighbor_links or a not in broker_b.neighbor_links:
             raise RoutingError(f"no link between {a!r} and {b!r}")
+        self._partitioned.discard((min(a, b), max(a, b)))
         if not broker_a.failed and not broker_b.failed:
             self._adjacency[a].add(b)
             self._adjacency[b].add(a)
         self._recompute_routes()
+
+    def is_partitioned(self, a: str, b: str) -> bool:
+        """Whether the ``a``–``b`` edge is currently administratively severed."""
+        return (min(a, b), max(a, b)) in self._partitioned
 
     def links_of(self, broker_id: str) -> tuple[Link, ...]:
         """Every directed :class:`Link` touching a broker, both directions.
@@ -319,20 +408,45 @@ class BrokerNetwork:
         self._recompute_routes()
 
     def recover_broker(self, broker_id: str, neighbors: Iterable[str] = ()) -> None:
-        """Bring a failed broker back, reattaching the given neighbor links."""
+        """Bring a failed broker back, reattaching the given neighbor links.
+
+        Edges severed by :meth:`partition_link` stay severed even when
+        they appear in ``neighbors``: a partition is an independent fault
+        with its own lifetime, and a crash/recover cycle of one endpoint
+        must not silently heal it (only :meth:`heal_link` does).  Links
+        to still-failed neighbors are likewise skipped — they return when
+        *that* broker recovers.
+        """
         broker = self.broker(broker_id)
         broker.failed = False
         for neighbor in neighbors:
             # links still exist physically; just restore the adjacency
-            if neighbor in broker.neighbor_links:
-                self._adjacency[broker_id].add(neighbor)
-                self._adjacency[neighbor].add(broker_id)
+            if neighbor not in broker.neighbor_links:
+                continue
+            if (min(broker_id, neighbor), max(broker_id, neighbor)) in self._partitioned:
+                continue
+            peer = self._brokers.get(neighbor)
+            if peer is not None and peer.failed:
+                continue
+            self._adjacency[broker_id].add(neighbor)
+            self._adjacency[neighbor].add(broker_id)
         self._recompute_routes()
 
     # ------------------------------------------------------------ control plane
 
     def _announce_interest(self, pattern: str, broker_id: str) -> None:
-        """Flood subscription interest to every broker (control plane)."""
+        """Propagate subscription interest through the control plane.
+
+        Verbatim mode floods the pattern to every broker (one
+        ``control.floods`` message per pattern).  Federated mode only
+        updates the owner's interest summary; the re-broadcast is batched
+        into the next routing epoch by
+        :meth:`~repro.messaging.federation.FederatedInterestPlane.flush`,
+        which is where ``control.floods`` is counted.
+        """
+        if self.federation is not None:
+            self.federation.announce(pattern, broker_id)
+            return
         self._interest.setdefault(pattern, set()).add(broker_id)
         for other in self._brokers.values():
             other.note_remote_interest(pattern, broker_id)
@@ -340,6 +454,9 @@ class BrokerNetwork:
 
     def _retract_interest(self, pattern: str, broker_id: str) -> None:
         """Flood an interest retraction (last subscriber gone)."""
+        if self.federation is not None:
+            self.federation.retract(pattern, broker_id)
+            return
         owners = self._interest.get(pattern)
         if owners is not None:
             owners.discard(broker_id)

@@ -33,6 +33,7 @@ seeded stream, as :meth:`Broker._deliver_local` does.
 
 from __future__ import annotations
 
+import sys
 from typing import Callable, Iterable
 
 from repro.messaging.topics import (
@@ -45,6 +46,9 @@ from repro.obs.registry import MetricsRegistry
 
 #: Registry gauge tracking live pattern entries (deployment-wide total).
 PATTERNS_GAUGE = "broker.interest.patterns"
+
+#: Registry gauge tracking live first-segment shards (deployment-wide).
+SHARDS_GAUGE = "broker.interest.shards"
 
 
 class PatternEntry:
@@ -83,10 +87,21 @@ class _TrieNode:
 
 
 class SubscriptionIndex:
-    """Segment trie over subscription patterns with pruning removals."""
+    """Segment trie over subscription patterns with pruning removals.
+
+    The trie is **sharded by first topic segment**: each first segment
+    (including the ``*`` and ``>`` wildcards) owns an independent subtrie,
+    so a match query touches at most three shards — the topic's literal
+    root, ``*`` and ``>`` — regardless of how many root segments exist,
+    and a shard whose last pattern is retracted frees its whole subtrie
+    at once.  Segment strings are interned on insertion
+    (:func:`sys.intern`): at the 100k-entity scale most segments are
+    shared constants (``Constrained``, ``Traces``, trace-type suffixes),
+    and interning keeps one copy per process instead of one per pattern.
+    """
 
     def __init__(self, metrics: MetricsRegistry | None = None) -> None:
-        self._root = _TrieNode()
+        self._shards: dict[str, _TrieNode] = {}
         self._by_pattern: dict[str, PatternEntry] = {}
         self._metrics = metrics
 
@@ -98,13 +113,17 @@ class SubscriptionIndex:
         return "/".join(split_topic(pattern))
 
     def _get_or_create(self, pattern: str) -> PatternEntry:
-        segments = validate_topic(pattern, allow_wildcards=True)
-        canonical = "/".join(segments)
+        segments = [sys.intern(s) for s in validate_topic(pattern, allow_wildcards=True)]
+        canonical = sys.intern("/".join(segments))
         entry = self._by_pattern.get(canonical)
         if entry is not None:
             return entry
-        node = self._root
-        for segment in segments:
+        node = self._shards.get(segments[0])
+        if node is None:
+            node = self._shards[segments[0]] = _TrieNode()
+            if self._metrics is not None:
+                self._metrics.gauge(SHARDS_GAUGE).inc()
+        for segment in segments[1:]:
             node = node.children.setdefault(segment, _TrieNode())
         entry = PatternEntry(canonical)
         node.entry = entry
@@ -124,16 +143,21 @@ class SubscriptionIndex:
         if self._metrics is not None:
             self._metrics.gauge(PATTERNS_GAUGE).dec()
         segments = entry.pattern.split("/")
-        path = [self._root]
-        for segment in segments:
+        path = [self._shards[segments[0]]]
+        for segment in segments[1:]:
             path.append(path[-1].children[segment])
         path[-1].entry = None
-        for depth in range(len(segments) - 1, -1, -1):
-            child = path[depth + 1]
+        for depth in range(len(segments) - 1, 0, -1):
+            child = path[depth]
             if child.entry is None and not child.children:
-                del path[depth].children[segments[depth]]
+                del path[depth - 1].children[segments[depth]]
             else:
                 break
+        shard = path[0]
+        if shard.entry is None and not shard.children:
+            del self._shards[segments[0]]
+            if self._metrics is not None:
+                self._metrics.gauge(SHARDS_GAUGE).dec()
 
     # --------------------------------------------------------------- mutation
 
@@ -192,9 +216,11 @@ class SubscriptionIndex:
     def _matching_entries(self, topic: str) -> list[PatternEntry]:
         """Entries whose pattern matches the concrete ``topic``.
 
-        Walks the trie once — literal child, ``*`` child and a terminal
-        ``>`` child per level — so the cost is O(topic depth), not
-        O(stored patterns).  Results come back in sorted-pattern order.
+        Probes at most three shards — the topic's literal first segment,
+        ``*`` and ``>`` — then walks each subtrie once (literal child,
+        ``*`` child and a terminal ``>`` child per level), so the cost is
+        O(topic depth), not O(stored patterns).  Results come back in
+        sorted-pattern order.
         """
         segments = split_topic(topic)
         found: list[PatternEntry] = []
@@ -214,7 +240,18 @@ class SubscriptionIndex:
             if star is not None:
                 collect(star, index + 1)
 
-        collect(self._root, 0)
+        # A bare ``>`` pattern lives in its own shard and matches any
+        # (non-empty) topic; the grammar keeps ``>`` terminal, so that
+        # shard is a single node probed without descending.
+        many_shard = self._shards.get(WILDCARD_MANY)
+        if many_shard is not None and many_shard.entry is not None and segments:
+            found.append(many_shard.entry)
+        literal_shard = self._shards.get(segments[0]) if segments else None
+        if literal_shard is not None:
+            collect(literal_shard, 1)
+        star_shard = self._shards.get(WILDCARD_ONE)
+        if star_shard is not None and segments:
+            collect(star_shard, 1)
         found.sort(key=lambda entry: entry.pattern)
         return found
 
@@ -294,11 +331,16 @@ class SubscriptionIndex:
     def pattern_count(self) -> int:
         return len(self._by_pattern)
 
+    @property
+    def shard_count(self) -> int:
+        """Live first-segment shards (tests assert shard pruning)."""
+        return len(self._shards)
+
     def node_count(self) -> int:
-        """Trie nodes currently allocated (root excluded); tests use this
-        to assert that retraction actually prunes."""
-        total = 0
-        stack = [self._root]
+        """Trie nodes currently allocated (shard roots included); tests
+        use this to assert that retraction actually prunes."""
+        total = len(self._shards)
+        stack = list(self._shards.values())
         while stack:
             node = stack.pop()
             total += len(node.children)

@@ -1,0 +1,82 @@
+"""The committed fabric-scale seed must stay reproducible and gated."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench.scale import (
+    SMOKE_BROKERS,
+    SMOKE_ENTITIES,
+    SMOKE_EVENTS,
+    compare_to_seed,
+    render_snapshot,
+    run_scale_point,
+)
+from repro.errors import ConfigurationError
+
+SEED_FILE = (
+    Path(__file__).resolve().parents[2] / "benchmarks" / "results" / "scale_seed.json"
+)
+
+
+@pytest.fixture(scope="module")
+def live_snapshot():
+    return run_scale_point()
+
+
+@pytest.fixture(scope="module")
+def seed_snapshot():
+    return json.loads(SEED_FILE.read_text())
+
+
+class TestAgainstCommittedSeed:
+    def test_no_drift(self, live_snapshot, seed_snapshot):
+        assert compare_to_seed(live_snapshot, seed_snapshot) == []
+
+    def test_snapshot_is_reproducible_exactly(self, live_snapshot, seed_snapshot):
+        assert render_snapshot(live_snapshot) == render_snapshot(seed_snapshot)
+
+    def test_scale_economics_hold(self, live_snapshot):
+        """The claims the tentpole exists for, pinned at the smoke point."""
+        assert live_snapshot["brokers"] == SMOKE_BROKERS
+        assert live_snapshot["entities"] == SMOKE_ENTITIES
+        # sub-linear control traffic: floods track brokers, not patterns
+        assert live_snapshot["control_floods"] <= 2 * SMOKE_BROKERS
+        assert live_snapshot["control_floods"] < SMOKE_ENTITIES // 100
+        # every published event was delivered despite summarization
+        assert live_snapshot["received"] == SMOKE_EVENTS
+        assert live_snapshot["counters"]["broker.msgs.delivered"] == SMOKE_EVENTS
+        assert live_snapshot["counters"]["broker.msgs.unroutable"] == 0
+        # false positives are the budgeted cost; stale forwards stay a bug
+        assert live_snapshot["counters"]["broker.interest.stale_forwards"] == 0
+
+    def test_federated_memory_shape(self, live_snapshot):
+        """Peers hold no mirrored remote interest: the deployment-wide
+        pattern gauge equals the entity count exactly (verbatim flooding
+        would multiply it by the broker count)."""
+        assert live_snapshot["interest_patterns_gauge"] == SMOKE_ENTITIES
+        assert live_snapshot["fed_patterns_gauge"] == SMOKE_ENTITIES
+        assert live_snapshot["shards_gauge"] == SMOKE_BROKERS
+
+
+class TestCompareToSeed:
+    def test_flags_counter_drift(self, seed_snapshot):
+        live = json.loads(json.dumps(seed_snapshot))
+        live["counters"]["broker.msgs.delivered"] += 1
+        assert compare_to_seed(live, seed_snapshot)
+
+    def test_flags_shape_drift(self, seed_snapshot):
+        live = json.loads(json.dumps(seed_snapshot))
+        live["control_floods"] += 1
+        findings = compare_to_seed(live, seed_snapshot)
+        assert any("control_floods" in finding for finding in findings)
+
+    def test_clean_on_identical(self, seed_snapshot):
+        assert compare_to_seed(seed_snapshot, seed_snapshot) == []
+
+
+class TestValidation:
+    def test_rejects_degenerate_fabric(self):
+        with pytest.raises(ConfigurationError):
+            run_scale_point(brokers=1, entities=10, events=1)

@@ -122,6 +122,82 @@ class TestIndexHygiene:
         assert registry.gauge_value("broker.interest.patterns") == baseline
 
 
+class TestRetractionSymmetry:
+    """The announce/retract guards must mirror each other, and
+    ``remove_client`` must leave zero stale interest fabric-wide."""
+
+    def test_drop_remote_interest_ignores_self(self, net):
+        """A broker's own retraction flood must not touch its local
+        index — the mirror of the ``note_remote_interest`` self-guard."""
+        sim, network = net
+        b3 = network.broker("b3")
+        sub = make_client(network, "sub", "b3")
+        staying = make_client(network, "staying", "b3")
+        sub.subscribe("sym/topic", lambda m: None)
+        staying.subscribe("sym/topic", lambda m: None)
+        # a self-addressed drop (as a buggy flood echo would deliver) is a no-op
+        b3.drop_remote_interest("sym/topic", "b3")
+        assert b3.subscription_index.has_local("sym/topic")
+        assert b3.subscription_index.clients_for("sym/topic") == ["staying", "sub"]
+
+    def test_note_remote_interest_ignores_self(self, net):
+        _, network = net
+        b3 = network.broker("b3")
+        b3.note_remote_interest("self/topic", "b3")
+        assert "self/topic" not in b3.subscription_index
+
+    def test_remove_client_sweeps_all_brokers(self, net):
+        """A client that hopped brokers without unsubscribing leaves
+        subscriptions on the old broker; ``remove_client`` must purge
+        them everywhere and retract the orphaned interest."""
+        sim, network = net
+        pub = make_client(network, "pub", "b1")
+        hopper = make_client(network, "hopper", "b2")
+        hopper.subscribe("hop/topic", lambda m: None)
+        # hop: attach to b3 without detaching from b2 (the leak)
+        network.connect_client(hopper, "b3")
+        assert network.broker("b2").subscription_index.has_local("hop/topic")
+
+        network.remove_client("hopper")
+        assert not network.broker("b2").subscription_index.has_local("hop/topic")
+        assert network.stale_interest_entries("hopper") == []
+        before = forwarded_out(network)
+        pub.publish("hop/topic", 1)
+        sim.run()
+        assert forwarded_out(network) == before  # nothing forwarded on leftovers
+
+    def test_no_stale_entries_after_normal_lifecycle(self, net):
+        sim, network = net
+        sub = make_client(network, "sub", "b3")
+        sub.subscribe("clean/topic", lambda m: None)
+        sim.run()
+        network.remove_client("sub")
+        assert network.stale_interest_entries() == []
+        assert network.stale_interest_entries("sub") == []
+
+    def test_stale_diagnostic_detects_injected_leak(self, net):
+        """The diagnostic itself must see a fabricated control-plane leak."""
+        _, network = net
+        network._interest.setdefault("leak/topic", set()).add("b2")
+        findings = network.stale_interest_entries()
+        assert findings == ["leak/topic advertised by b2 with no local subscriber"]
+
+    def test_stale_diagnostic_in_federated_mode(self):
+        sim = Simulator()
+        network = BrokerNetwork(sim, seed=11, federation=True)
+        network.build_chain(["b1", "b2", "b3"])
+        sub = make_client(network, "sub", "b3")
+        sub.subscribe("fed/topic", lambda m: None)
+        assert network.stale_interest_entries() == []
+        network.remove_client("sub")
+        assert network.stale_interest_entries("sub") == []
+        # inject a leak straight into the plane: the diagnostic reports it
+        network.federation.announce("fed/leak", "b2")
+        assert network.stale_interest_entries() == [
+            "fed/leak advertised by b2 with no local subscriber"
+        ]
+
+
 class TestStaleForwardDetection:
     def test_stale_forward_counted_at_disinterested_destination(self, net):
         """A frame forwarded on fabricated stale interest is counted."""

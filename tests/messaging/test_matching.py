@@ -160,6 +160,68 @@ class TestQueries:
 SEGMENTS = ["alpha", "beta", "gamma", "delta", "x"]
 
 
+class TestSharding:
+    """First-segment shards: creation, probing and pruning."""
+
+    def test_shard_per_distinct_first_segment(self):
+        index = index_with_clients(["a/x", "a/y", "b/z", "*/w", ">"])
+        assert index.shard_count == 4  # a, b, *, >
+
+    def test_bare_many_shard_matches_any_topic(self):
+        index = index_with_clients([">"])
+        assert index.match_patterns("solo") == [">"]
+        assert index.match_patterns("deep/topic/path") == [">"]
+
+    def test_star_first_shard_probed(self):
+        index = index_with_clients(["*/tail"])
+        assert index.match_patterns("any/tail") == ["*/tail"]
+        assert index.match_patterns("any/other") == []
+
+    def test_shard_pruned_with_last_pattern(self):
+        index = SubscriptionIndex()
+        index.add_client("a/x", "c1")
+        index.add_client("b/y", "c1")
+        assert index.shard_count == 2
+        index.remove_client("a/x", "c1")
+        assert index.shard_count == 1
+        assert index.match_patterns("a/x") == []
+        index.remove_client("b/y", "c1")
+        assert index.shard_count == 0
+        assert index.node_count() == 0
+
+    def test_single_segment_pattern_lives_on_shard_node(self):
+        index = SubscriptionIndex()
+        index.add_client("root", "c1")
+        assert index.shard_count == 1
+        assert index.node_count() == 1
+        assert index.match_patterns("root") == ["root"]
+        index.remove_client("root", "c1")
+        assert index.shard_count == 0
+
+    def test_shards_gauge_tracks_lifecycle(self):
+        from repro.obs.registry import MetricsRegistry
+
+        metrics = MetricsRegistry()
+        index = SubscriptionIndex(metrics=metrics)
+        index.add_client("a/x", "c1")
+        index.add_client("a/y", "c1")
+        index.add_client("b/z", "c1")
+        assert metrics.gauge_value("broker.interest.shards") == 2
+        index.remove_client_everywhere("c1")
+        assert metrics.gauge_value("broker.interest.shards") == 0
+
+    def test_segments_are_interned(self):
+        """Shared segment strings collapse to one object per process."""
+        index = SubscriptionIndex()
+        index.add_client("Constrained/Traces/one", "c1")
+        index.add_client("Constrained/Traces/two", "c2")
+        (shard,) = index._shards.values()
+        (key,) = shard.children.keys()
+        import sys
+
+        assert key is sys.intern("Traces")
+
+
 def random_pattern(rng: random.Random) -> str:
     depth = rng.randint(1, 4)
     parts = [rng.choice(SEGMENTS) for _ in range(depth)]

@@ -39,6 +39,7 @@ def test_has_lint_analyze_test_bench_and_perf_jobs(workflow):
         "test",
         "bench-smoke",
         "chaos-smoke",
+        "scale-smoke",
         "perf-gate",
     }
 
@@ -98,6 +99,13 @@ def test_chaos_smoke_gates_scenario_against_seed(workflow):
     runs = [step.get("run") or "" for step in workflow["jobs"]["chaos-smoke"]["steps"]]
     assert any("repro faults --scenario broker-crash --json" in run for run in runs)
     assert any("chaos_seed.json" in run for run in runs)
+
+
+def test_scale_smoke_gates_reduced_point_with_rss_ceiling(workflow):
+    runs = [step.get("run") or "" for step in workflow["jobs"]["scale-smoke"]["steps"]]
+    gate = next(run for run in runs if "repro.bench.scale" in run)
+    assert "--compare benchmarks/results/scale_seed.json" in gate
+    assert "--max-rss-mb" in gate
 
 
 def test_perf_gate_runs_both_codecs_against_committed_baselines(workflow):
