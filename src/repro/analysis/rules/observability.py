@@ -30,6 +30,7 @@ KNOWN_FAMILIES = frozenset(
         "analysis",
         "auth",
         "broker",
+        "campaign",
         "codec",
         "crypto",
         "faults",

@@ -26,6 +26,8 @@ from repro.tracing.traces import TraceType
 
 @dataclass(frozen=True, slots=True)
 class MessageCountResult:
+    """One EXP-A1 point: msgs/s for all-pairs vs brokered tracing."""
+
     population: int
     watchers: int
     allpairs_msgs_per_s: float
@@ -33,6 +35,7 @@ class MessageCountResult:
 
     @property
     def reduction_factor(self) -> float:
+        """How many times fewer msgs/s tracing needs than all-pairs."""
         return self.allpairs_msgs_per_s / max(self.tracing_msgs_per_s, 1e-9)
 
 
@@ -99,6 +102,7 @@ def run_message_count_sweep(
     populations: tuple[int, ...] = (10, 20, 40, 80),
     seed: int = 21,
 ) -> list[MessageCountResult]:
+    """EXP-A1 sweep: message load vs population for both systems."""
     return [run_message_count_case(p, seed=seed) for p in populations]
 
 
@@ -107,6 +111,8 @@ def run_message_count_sweep(
 
 @dataclass(frozen=True, slots=True)
 class GossipComparisonResult:
+    """EXP-A2: gossip vs tracing detection latency and message cost."""
+
     population: int
     gossip_detect_first_ms: float
     gossip_detect_last_ms: float
@@ -181,6 +187,8 @@ def run_gossip_comparison(
 
 @dataclass(frozen=True, slots=True)
 class GatingResult:
+    """EXP-A3: publications suppressed/delivered with interest gating."""
+
     gated: bool
     published: int
     suppressed: int
@@ -228,6 +236,8 @@ def run_interest_gating_ablation(
 
 @dataclass(frozen=True, slots=True)
 class ThresholdResult:
+    """EXP-A4: false suspicions/failures at one threshold setting."""
+
     suspicion_threshold: int
     failure_threshold: int
     loss_probability: float
@@ -336,6 +346,8 @@ def run_threshold_sensitivity(
 
 @dataclass(frozen=True, slots=True)
 class AdaptivePingResult:
+    """EXP-A5: detection latency and ping cost for one ping policy."""
+
     label: str
     detection_ms: float
     pings_sent: int

@@ -33,6 +33,8 @@ STEADY_POLICY = AdaptivePingPolicy(
 
 @dataclass(frozen=True, slots=True)
 class EntitiesResult:
+    """Table 4 point: trace overhead with N co-located traced entities."""
+
     entity_count: int
     tracker_count: int
     samples: int
@@ -47,6 +49,7 @@ def run_entities_case(
     duration_ms: float = 60_000.0,
     seed: int = 13,
 ) -> EntitiesResult:
+    """One Table 4 case: measure trace time at one entity count."""
     dep, entities, trackers = single_broker_colocated(
         entity_count,
         tracker_count=tracker_count,
@@ -96,6 +99,7 @@ def run_entities_sweep(
     duration_ms: float = 60_000.0,
     seed: int = 13,
 ) -> list[EntitiesResult]:
+    """Table 4 sweep across entity counts."""
     return [
         run_entities_case(
             count, tracker_count=tracker_count, duration_ms=duration_ms, seed=seed

@@ -23,6 +23,8 @@ SETUP_MS = 3_000.0
 
 @dataclass(frozen=True, slots=True)
 class HopsResult:
+    """Table 3 point: routing overhead over one broker-hop count."""
+
     hops: int
     transport: str
     secured: bool

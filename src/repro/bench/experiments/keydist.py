@@ -25,6 +25,8 @@ from repro.util.stats import StatSummary
 
 @dataclass(frozen=True, slots=True)
 class KeyDistResult:
+    """Table 3 point: key-distribution round time at one hop count."""
+
     hops: int
     samples: int
     summary: StatSummary
@@ -81,6 +83,7 @@ def run_keydist_sweep(
     tracker_count: int = 20,
     seed: int = 11,
 ) -> list[KeyDistResult]:
+    """Table 3 key-distribution sweep across hop counts."""
     return [
         run_keydist_case(hops, tracker_count=tracker_count, seed=seed)
         for hops in hops_list

@@ -39,6 +39,8 @@ MICRO_ROWS: list[tuple[str, CryptoOp]] = [
 
 @dataclass(frozen=True, slots=True)
 class MicroResult:
+    """Table 3 micro-benchmark: one calibrated crypto operation cost."""
+
     label: str
     op: CryptoOp
     calibrated: StatSummary

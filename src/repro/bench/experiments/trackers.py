@@ -25,6 +25,8 @@ from repro.util.stats import StatSummary, summarize
 
 @dataclass(frozen=True, slots=True)
 class TrackersResult:
+    """Figure 4 point: trace time with N concurrently registered trackers."""
+
     tracker_count: int
     transport: str
     summary: StatSummary
@@ -37,6 +39,7 @@ def run_trackers_case(
     duration_ms: float = 120_000.0,
     seed: int = 9,
 ) -> TrackersResult:
+    """One Figure 4 case: measure trace time at one tracker count."""
     dep, entity, measuring, load_trackers = star_with_trackers(
         tracker_count, profile=profile, seed=seed
     )
@@ -64,6 +67,7 @@ def run_trackers_sweep(
     duration_ms: float = 120_000.0,
     seed: int = 9,
 ) -> list[TrackersResult]:
+    """Figure 4 sweep across tracker counts."""
     return [
         run_trackers_case(count, profile=profile, duration_ms=duration_ms, seed=seed)
         for count in counts

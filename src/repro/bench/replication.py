@@ -50,6 +50,7 @@ class ReplicatedResult:
 
     @property
     def ci95(self) -> tuple[float, float]:
+        """(low, high) bounds of the 95% confidence interval."""
         return (
             self.mean_of_means - self.ci95_half_width,
             self.mean_of_means + self.ci95_half_width,
@@ -61,6 +62,7 @@ class ReplicatedResult:
         return low <= value <= high
 
     def describe(self) -> str:
+        """One-line human summary: mean, CI bounds, seed count."""
         low, high = self.ci95
         return (
             f"{self.label}: {self.mean_of_means:.2f} ms "

@@ -64,6 +64,7 @@ class RoutingCounters:
 
     @classmethod
     def capture(cls, registry) -> "RoutingCounters":
+        """Read the routing-regression counter set from a registry."""
         return cls(
             ingress=registry.counter_value("broker.msgs.ingress"),
             forwarded_out=registry.counter_value("broker.msgs.forwarded_out"),
@@ -75,6 +76,7 @@ class RoutingCounters:
         )
 
     def render(self) -> str:
+        """Single-line counter summary for logs and seed diffs."""
         return (
             f"ingress={self.ingress} forwarded_out={self.forwarded_out} "
             f"delivered={self.delivered} unroutable={self.unroutable} "

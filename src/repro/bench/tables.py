@@ -18,6 +18,7 @@ class ComparisonRow:
 
     @property
     def delta_mean(self) -> float | None:
+        """Measured-minus-paper mean, or None without a paper value."""
         if self.paper_mean is None:
             return None
         return self.measured.mean - self.paper_mean

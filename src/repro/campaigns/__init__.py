@@ -1,0 +1,60 @@
+"""Scenario campaigns: declarative seeded sweeps with generated reports.
+
+The campaign engine generalizes the single-scenario harnesses
+(``repro faults --scenario``, the routing smoke, the scale curve) into
+declarative *campaigns*: a :class:`~repro.campaigns.spec.CampaignSpec`
+names the axes to sweep, the workload families to run over the grid,
+the baselines to compare against, and the seeded repetitions — and the
+whole thing expands, runs, snapshots, and renders deterministically
+(docs/CAMPAIGNS.md).
+
+Layout:
+
+* :mod:`repro.campaigns.spec` — the spec model and its deterministic
+  expansion into a run matrix;
+* :mod:`repro.campaigns.workloads` — the workload-family registry:
+  churn-mobile, the §5 adversarial families, and the gossip /
+  all-pairs baselines;
+* :mod:`repro.campaigns.runner` — sequential or subprocess-parallel
+  execution plus the byte-stable snapshot and its seed-gate compare;
+* :mod:`repro.campaigns.report` — markdown tables + SVG figures from a
+  snapshot.
+"""
+
+from repro.campaigns.report import generate_report
+from repro.campaigns.runner import (
+    campaign_snapshot,
+    compare_to_snapshot,
+    render_snapshot,
+    run_campaign,
+    run_point,
+)
+from repro.campaigns.spec import (
+    Axis,
+    CampaignPoint,
+    CampaignSpec,
+    expand,
+    ignored_axes,
+    load_spec,
+    unused_parameters,
+)
+from repro.campaigns.workloads import WORKLOADS, WorkloadFamily, workload_family
+
+__all__ = [
+    "WORKLOADS",
+    "Axis",
+    "CampaignPoint",
+    "CampaignSpec",
+    "WorkloadFamily",
+    "campaign_snapshot",
+    "compare_to_snapshot",
+    "expand",
+    "generate_report",
+    "ignored_axes",
+    "load_spec",
+    "render_snapshot",
+    "run_campaign",
+    "run_point",
+    "unused_parameters",
+    "workload_family",
+]

@@ -24,6 +24,10 @@ Commands
 ``faults``
     Run one chaos scenario from the repro.faults catalog and print its
     fault/recovery summary (``--json`` for the CI seed-snapshot form).
+``campaign``
+    Run a declarative parameter-sweep campaign (``campaign run --spec
+    FILE``) or regenerate its report artifacts from a committed
+    snapshot (``campaign report --snapshot FILE``); docs/CAMPAIGNS.md.
 """
 
 from __future__ import annotations
@@ -235,6 +239,104 @@ def _cmd_faults(args) -> int:
     pending = counters["trace.recovery.detected"] - counters["trace.recovery.completed"]
     if pending:
         print(f"unrecovered entities at end of run: {pending}")
+    return 0
+
+
+def _cmd_campaign(args) -> int:
+    """Run a campaign (or one point of it), or regenerate its report.
+
+    ``campaign run`` executes the spec's full matrix and writes
+    ``snapshot.json`` plus report artifacts under ``--out``; with
+    ``--point I`` it runs exactly one matrix point and prints its
+    result record as JSON (the subprocess-parallel child mode); with
+    ``--compare SEED`` it exits 1 unless the live snapshot matches the
+    committed seed byte-for-byte.  ``campaign report`` re-renders the
+    report artifacts from an existing snapshot file.
+    """
+    import json as _json
+    import pathlib
+
+    from repro.campaigns import (
+        compare_to_snapshot,
+        expand,
+        generate_report,
+        load_spec,
+        render_snapshot,
+        run_campaign,
+        run_point,
+        unused_parameters,
+    )
+    from repro.errors import ReproError
+
+    try:
+        if args.action == "report":
+            snapshot = _json.loads(
+                pathlib.Path(args.snapshot).read_text(encoding="utf-8")
+            )
+            out_dir = args.out or pathlib.Path(args.snapshot).parent
+            written = generate_report(snapshot, out_dir)
+            for path in written:
+                print(f"wrote {path}")
+            return 0
+
+        spec = load_spec(args.spec)
+        for name in unused_parameters(spec):
+            print(
+                f"repro campaign: warning: parameter {name!r} is accepted "
+                "by no family in this campaign (typo?)",
+                file=sys.stderr,
+            )
+
+        if args.point is not None:
+            points = expand(spec, seed=args.seed)
+            if not 0 <= args.point < len(points):
+                print(
+                    f"repro campaign: point {args.point} out of range "
+                    f"(matrix has {len(points)} points)",
+                    file=sys.stderr,
+                )
+                return 2
+            print(_json.dumps(run_point(points[args.point]), sort_keys=True))
+            return 0
+
+        snapshot = run_campaign(
+            spec,
+            seed=args.seed,
+            parallel=args.parallel,
+            spec_path=args.spec,
+            progress=None if args.json else print,
+        )
+    except ReproError as exc:
+        print(f"repro campaign: {exc}", file=sys.stderr)
+        return 2
+
+    rendered = render_snapshot(snapshot)
+    if args.json:
+        print(rendered, end="")
+
+    if args.out:
+        out_dir = pathlib.Path(args.out)
+        out_dir.mkdir(parents=True, exist_ok=True)
+        snapshot_path = out_dir / "snapshot.json"
+        snapshot_path.write_text(rendered, encoding="utf-8")
+        written = generate_report(snapshot, out_dir)
+        if not args.json:
+            print(f"wrote {snapshot_path}")
+            for path in written:
+                print(f"wrote {path}")
+
+    if args.compare:
+        seed_snapshot = _json.loads(
+            pathlib.Path(args.compare).read_text(encoding="utf-8")
+        )
+        findings = compare_to_snapshot(snapshot, seed_snapshot)
+        if findings:
+            print(f"campaign drift vs {args.compare}:", file=sys.stderr)
+            for finding in findings:
+                print(f"  {finding}", file=sys.stderr)
+            return 1
+        if not args.json:
+            print(f"matches committed seed {args.compare}")
     return 0
 
 
@@ -515,6 +617,43 @@ def build_parser() -> argparse.ArgumentParser:
     faults.add_argument("--json", action="store_true",
                         help="emit the seed-snapshot JSON form used by CI")
 
+    campaign = sub.add_parser(
+        "campaign",
+        help="run a declarative parameter-sweep campaign (docs/CAMPAIGNS.md)",
+    )
+    campaign_sub = campaign.add_subparsers(dest="action", required=True)
+    campaign_run = campaign_sub.add_parser(
+        "run", help="expand and execute a campaign spec"
+    )
+    campaign_run.add_argument("--spec", required=True, metavar="FILE",
+                              help="JSON campaign spec "
+                                   "(see benchmarks/campaigns/)")
+    campaign_run.add_argument("--seed", type=int, default=None,
+                              help="override the spec's base seed")
+    campaign_run.add_argument("--out", metavar="DIR", default=None,
+                              help="write snapshot.json + report artifacts "
+                                   "into DIR")
+    campaign_run.add_argument("--compare", metavar="SEED_FILE", default=None,
+                              help="exit 1 unless the live snapshot matches "
+                                   "this committed seed snapshot")
+    campaign_run.add_argument("--parallel", type=int, default=1,
+                              help="run points in N subprocesses "
+                                   "(default: sequential in-process)")
+    campaign_run.add_argument("--point", type=int, default=None, metavar="I",
+                              help="run exactly one matrix point and print "
+                                   "its JSON record (child mode)")
+    campaign_run.add_argument("--json", action="store_true",
+                              help="print the full snapshot JSON instead of "
+                                   "progress lines")
+    campaign_report = campaign_sub.add_parser(
+        "report", help="regenerate report artifacts from a snapshot"
+    )
+    campaign_report.add_argument("--snapshot", required=True, metavar="FILE",
+                                 help="campaign snapshot JSON")
+    campaign_report.add_argument("--out", metavar="DIR", default=None,
+                                 help="output directory (default: next to "
+                                      "the snapshot)")
+
     return parser
 
 
@@ -528,6 +667,7 @@ def main(argv: list[str] | None = None) -> int:
         "metrics": _cmd_metrics,
         "analyze": _cmd_analyze,
         "faults": _cmd_faults,
+        "campaign": _cmd_campaign,
     }
     return handlers[args.command](args)
 

@@ -135,9 +135,11 @@ class Broker:
     # ------------------------------------------------------------------ wiring
 
     def attach_neighbor(self, broker_id: str, link: Link) -> None:
+        """Wire the outbound link used to forward frames to a neighbor."""
         self.neighbor_links[broker_id] = link
 
     def set_routing_table(self, table: dict[str, str]) -> None:
+        """Install the next-hop-per-destination table for this broker."""
         self.routing_table = dict(table)
 
     def set_interest_announcer(
@@ -164,9 +166,11 @@ class Broker:
         return self._fed_plane is not None
 
     def attach_client(self, client_id: str, link_to_client: Link) -> None:
+        """Wire the outbound link used to deliver to a local client."""
         self._client_links[client_id] = link_to_client
 
     def detach_client(self, client_id: str) -> None:
+        """Drop a client link and retract all its interest fabric-wide."""
         self._client_links.pop(client_id, None)
         self.purge_client_subscriptions(client_id)
 
@@ -184,6 +188,7 @@ class Broker:
 
     @property
     def client_ids(self) -> list[str]:
+        """Ids of every client currently attached, sorted."""
         return sorted(self._client_links)
 
     def has_client(self, client_id: str) -> bool:
@@ -215,6 +220,7 @@ class Broker:
         self._propagate_interest(pattern, suppressed=False)
 
     def remove_client_subscription(self, client_id: str, pattern: str) -> None:
+        """Drop one client subscription, retracting interest if last."""
         if self._subs.remove_client(pattern, client_id):
             self._maybe_retract_interest(SubscriptionIndex.canonical(pattern))
 
@@ -239,6 +245,7 @@ class Broker:
         self._propagate_interest(pattern, suppressed=suppressed)
 
     def unsubscribe_local(self, pattern: str, handler: LocalHandler) -> None:
+        """Remove a broker-own subscription, retracting interest if last."""
         if self._subs.remove_handler(pattern, handler):
             self._maybe_retract_interest(SubscriptionIndex.canonical(pattern))
 
@@ -502,9 +509,11 @@ class Broker:
         self.monitor.log(self.sim.now, "terminated", principal=client_id)
 
     def is_blacklisted(self, client_id: str) -> bool:
+        """Whether a principal was terminated for violations (§5.2)."""
         return client_id in self._blacklist
 
     def violation_count(self, principal: str) -> int:
+        """Guard violations recorded against a principal so far."""
         return self._violations.get(principal, 0)
 
     # ------------------------------------------------------------------ misc

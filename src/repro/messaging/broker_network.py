@@ -118,6 +118,7 @@ class BrokerNetwork:
         return self._machines[name]
 
     def machines(self) -> list[Machine]:
+        """Every machine in the deployment, sorted by name."""
         return [self._machines[k] for k in sorted(self._machines)]
 
     # ----------------------------------------------------------------- brokers
@@ -160,12 +161,14 @@ class BrokerNetwork:
         return broker
 
     def broker(self, broker_id: str) -> Broker:
+        """The broker called ``broker_id``; RoutingError if unknown."""
         try:
             return self._brokers[broker_id]
         except KeyError:
             raise RoutingError(f"unknown broker {broker_id!r}") from None
 
     def brokers(self) -> list[Broker]:
+        """Every broker in the fabric, sorted by id."""
         return [self._brokers[k] for k in sorted(self._brokers)]
 
     def connect_brokers(
@@ -216,6 +219,7 @@ class BrokerNetwork:
         return brokers
 
     def hop_distance(self, a: str, b: str) -> int:
+        """Broker-to-broker hop count over the current topology."""
         return hop_distance(self._adjacency, a, b)
 
     def _recompute_routes(self) -> None:
@@ -228,6 +232,7 @@ class BrokerNetwork:
     def add_client(
         self, client_id: str, machine_name: str | None = None
     ) -> BrokerClient:
+        """Create a client endpoint (unconnected) on the named machine."""
         if client_id in self._clients:
             raise ConfigurationError(f"duplicate client id {client_id!r}")
         machine = self.machine(machine_name or f"machine-{client_id}")
@@ -238,6 +243,7 @@ class BrokerNetwork:
         return client
 
     def client(self, client_id: str) -> BrokerClient:
+        """The client endpoint called ``client_id``."""
         return self._clients[client_id]
 
     def remove_client(self, client_id: str) -> None:
@@ -467,4 +473,5 @@ class BrokerNetwork:
         self.monitor.increment("control.retractions")
 
     def route_of(self, message_frame: RoutedFrame) -> tuple[str, ...]:
+        """The destination list a routed frame is addressed to."""
         return message_frame.destinations

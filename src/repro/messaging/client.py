@@ -48,20 +48,24 @@ class BrokerClient:
     # ----------------------------------------------------------------- wiring
 
     def attach(self, broker: Broker, link_to_broker: Link) -> None:
+        """Bind this client to its broker and outbound link."""
         self._broker = broker
         self._link_to_broker = link_to_broker
 
     @property
     def connected(self) -> bool:
+        """Whether the client currently has a broker attached."""
         return self._broker is not None
 
     @property
     def broker(self) -> Broker:
+        """The attached broker; NotConnectedError when detached."""
         if self._broker is None:
             raise NotConnectedError(f"{self.client_id!r} is not connected")
         return self._broker
 
     def disconnect(self) -> None:
+        """Detach from the broker, dropping server-side subscriptions."""
         if self._broker is not None:
             self._broker.detach_client(self.client_id)
         self._broker = None
@@ -101,6 +105,8 @@ class BrokerClient:
         self._handlers[text].append(handler)
 
     def unsubscribe(self, pattern: str | Topic, handler: Handler | None = None) -> None:
+        """Remove one handler (or all) for a pattern; retracts the
+        server-side subscription when the last local handler goes."""
         text = pattern.canonical if isinstance(pattern, Topic) else pattern
         if handler is None:
             self._handlers.pop(text, None)
@@ -114,6 +120,7 @@ class BrokerClient:
             self.broker.remove_client_subscription(self.client_id, text)
 
     def subscriptions(self) -> list[str]:
+        """Patterns this client currently subscribes to, sorted."""
         return sorted(self._handlers)
 
     # -------------------------------------------------------------- delivery

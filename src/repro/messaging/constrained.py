@@ -67,6 +67,7 @@ class Distribution(enum.Enum):
 
     @classmethod
     def parse(cls, token: str) -> "Distribution | None":
+        """Parse a distribution slot token, or None if unrecognized."""
         normalized = token.lower()
         if normalized == "disseminate":
             return cls.DISSEMINATE
@@ -192,6 +193,7 @@ class ConstrainedTopic:
 
     @property
     def canonical(self) -> str:
+        """The full canonical topic string for this constrained topic."""
         return self.topic().canonical
 
     # -- semantics ---------------------------------------------------------------

@@ -41,12 +41,15 @@ class BrokerDiscoveryService:
         self._round_robin_index = 0
 
     def register_broker(self, broker: Broker) -> None:
+        """Make a broker discoverable to joining clients."""
         self._brokers[broker.broker_id] = broker
 
     def deregister_broker(self, broker_id: str) -> None:
+        """Remove a broker (e.g. crashed) from the discoverable set."""
         self._brokers.pop(broker_id, None)
 
     def known_brokers(self) -> list[str]:
+        """Ids of every currently discoverable broker, sorted."""
         return sorted(self._brokers)
 
     def discover(

@@ -337,6 +337,7 @@ class FederatedInterestPlane:
         )
 
     def brokers(self) -> list[str]:
+        """Every broker with an interest accumulator, sorted."""
         return sorted(self._accumulators)
 
     # ----------------------------------------------------------- announcements
@@ -454,6 +455,7 @@ class FederatedInterestPlane:
         return sorted(self._accumulator(broker_id).patterns)
 
     def iter_summaries(self) -> Iterator[InterestSummary]:
+        """Flush pending changes, then yield every broker summary."""
         self.flush()
         for broker_id in sorted(self._summaries):
             yield self._summaries[broker_id]

@@ -63,6 +63,7 @@ class PatternEntry:
         self.remote: set[str] = set()
 
     def is_empty(self) -> bool:
+        """No clients, handlers, or remote interest left at all."""
         return not (self.clients or self.handlers or self.remote)
 
     def has_local(self) -> bool:
@@ -162,6 +163,7 @@ class SubscriptionIndex:
     # --------------------------------------------------------------- mutation
 
     def add_client(self, pattern: str, client_id: str) -> None:
+        """Record a client subscription on ``pattern``."""
         self._get_or_create(pattern).clients[client_id] = True
 
     def remove_client(self, pattern: str, client_id: str) -> bool:
@@ -189,9 +191,11 @@ class SubscriptionIndex:
         return sorted(orphaned)
 
     def add_handler(self, pattern: str, handler: Callable) -> None:
+        """Record a broker-local handler subscription on ``pattern``."""
         self._get_or_create(pattern).handlers.append(handler)
 
     def remove_handler(self, pattern: str, handler: Callable) -> bool:
+        """Remove one handler; True if it was present."""
         entry = self._lookup(pattern)
         if entry is None or handler not in entry.handlers:
             return False
@@ -200,6 +204,7 @@ class SubscriptionIndex:
         return True
 
     def add_remote(self, pattern: str, broker_id: str) -> None:
+        """Record a peer broker's interest in ``pattern``."""
         self._get_or_create(pattern).remote.add(broker_id)
 
     def remove_remote(self, pattern: str, broker_id: str) -> bool:
@@ -317,18 +322,22 @@ class SubscriptionIndex:
         return entry is not None and entry.has_local()
 
     def clients_for(self, pattern: str) -> list[str]:
+        """Client ids subscribed to exactly ``pattern``, sorted."""
         entry = self._lookup(pattern)
         return sorted(entry.clients) if entry is not None else []
 
     def remote_for(self, pattern: str) -> set[str]:
+        """Peer brokers interested in exactly ``pattern``."""
         entry = self._lookup(pattern)
         return set(entry.remote) if entry is not None else set()
 
     def patterns(self) -> list[str]:
+        """Every live pattern in the index, sorted."""
         return sorted(self._by_pattern)
 
     @property
     def pattern_count(self) -> int:
+        """Number of live pattern entries."""
         return len(self._by_pattern)
 
     @property

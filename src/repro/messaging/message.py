@@ -104,6 +104,7 @@ class Message:
         return replace(self, hops=self.hops + 1)
 
     def describe(self) -> str:
+        """Compact id/topic/source/hops summary for logs."""
         return (
             f"Message(id={self.message_id}, topic={self.topic}, "
             f"source={self.source!r}, hops={self.hops})"
@@ -118,6 +119,7 @@ class RoutedFrame:
     destinations: tuple[str, ...]
 
     def wire_dict(self) -> dict:
+        """The message's wire form plus the destination list."""
         frame = self.message.wire_dict()
         frame["destinations"] = list(self.destinations)
         return frame

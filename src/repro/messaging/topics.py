@@ -86,6 +86,7 @@ class Topic:
 
     @classmethod
     def parse(cls, text: str, allow_wildcards: bool = False) -> "Topic":
+        """Validate and canonicalize a topic string."""
         segments = validate_topic(text, allow_wildcards)
         return cls("/".join(segments))
 
@@ -96,6 +97,7 @@ class Topic:
 
     @property
     def segments(self) -> tuple[str, ...]:
+        """The canonical form split into its path segments."""
         return _cached_segments(self.canonical)
 
     def child(self, *extra: str) -> "Topic":

@@ -1,0 +1,66 @@
+"""The report generator: purity, tables, figures, footnotes."""
+
+import json
+import pathlib
+
+import pytest
+
+from repro.campaigns import generate_report
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+SMOKE_DIR = REPO_ROOT / "benchmarks" / "results" / "campaigns" / "smoke"
+
+
+@pytest.fixture(scope="module")
+def snapshot() -> dict:
+    return json.loads((SMOKE_DIR / "snapshot.json").read_text())
+
+
+@pytest.fixture(scope="module")
+def regenerated(snapshot, tmp_path_factory) -> pathlib.Path:
+    out_dir = tmp_path_factory.mktemp("report")
+    generate_report(snapshot, out_dir)
+    return out_dir
+
+
+class TestPurity:
+    """CI regenerates the committed report and requires a clean diff;
+    this is the tier-1 mirror of that contract."""
+
+    def test_report_is_a_pure_function_of_the_snapshot(self, regenerated):
+        for name in ("report.md", "fig_availability.svg", "fig_baselines.svg"):
+            assert (regenerated / name).read_text() == (
+                SMOKE_DIR / name
+            ).read_text(), f"{name} drifted from the committed artifact"
+
+
+class TestContent:
+    def test_every_family_gets_a_table(self, snapshot, regenerated):
+        report = (regenerated / "report.md").read_text()
+        for family in snapshot["families"]:
+            assert f"## {family}" in report
+
+    def test_adversarial_table_shows_the_defense_columns(self, regenerated):
+        report = (regenerated / "report.md").read_text()
+        assert "violations" in report
+        assert "terminated" in report
+
+    def test_baseline_comparison_grid_present(self, regenerated):
+        report = (regenerated / "report.md").read_text()
+        assert "## Baseline comparison" in report
+        assert "baseline-gossip" in report
+
+    def test_dependability_summary_present(self, regenerated):
+        report = (regenerated / "report.md").read_text()
+        assert "## Dependability summary" in report
+        assert "MTTR" in report
+
+    def test_projected_axes_are_footnoted(self, regenerated):
+        report = (regenerated / "report.md").read_text()
+        assert "projected away" in report
+        assert "`churn_cycles`" in report
+
+    def test_regeneration_footer_names_the_command(self, regenerated):
+        report = (regenerated / "report.md").read_text()
+        assert "repro campaign run" in report
+        assert "benchmarks/campaigns/smoke.json" in report

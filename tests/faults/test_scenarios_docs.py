@@ -1,0 +1,67 @@
+"""The docs/FAULTS.md scenario catalog must match the code registry.
+
+The catalog table is the user-facing contract for ``repro faults
+--scenario``; a scenario added (or renamed) in ``faults.scenarios``
+without a catalog row — or a documented row with no implementation — is
+doc drift this gate catches.  Also pins the ``scenario_plan`` /
+``run_scenario`` unknown-name error paths.
+"""
+
+import re
+from pathlib import Path
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults.scenarios import SCENARIOS, run_scenario, scenario_plan
+
+FAULTS_DOC = Path(__file__).resolve().parents[2] / "docs" / "FAULTS.md"
+
+
+def _catalog_rows() -> list[str]:
+    """Scenario names from the first column of the catalog table."""
+    text = FAULTS_DOC.read_text(encoding="utf-8")
+    start = text.index("## Scenario catalog")
+    end = text.index("\n## ", start + 1)
+    section = text[start:end]
+    names = []
+    for line in section.splitlines():
+        match = re.match(r"\|\s*`([a-z0-9-]+)`\s*\|", line)
+        if match:
+            names.append(match.group(1))
+    return names
+
+
+def test_catalog_table_matches_scenario_registry():
+    rows = _catalog_rows()
+    assert rows, "no scenario rows found under '## Scenario catalog'"
+    assert sorted(rows) == sorted(SCENARIOS), (
+        "docs/FAULTS.md catalog and faults.scenarios.SCENARIOS disagree: "
+        f"doc-only={sorted(set(rows) - set(SCENARIOS))}, "
+        f"code-only={sorted(set(SCENARIOS) - set(rows))}"
+    )
+
+
+def test_catalog_has_no_duplicate_rows():
+    rows = _catalog_rows()
+    assert len(rows) == len(set(rows))
+
+
+def test_every_scenario_builds_a_plan():
+    for name in SCENARIOS:
+        plan = scenario_plan(name)
+        assert plan.events, f"scenario {name!r} has an empty plan"
+
+
+def test_scenario_plan_unknown_name_lists_known_scenarios():
+    with pytest.raises(ConfigurationError) as excinfo:
+        scenario_plan("no-such-scenario")
+    message = str(excinfo.value)
+    assert "no-such-scenario" in message
+    for name in SCENARIOS:
+        assert name in message
+
+
+def test_run_scenario_rejects_unknown_name():
+    with pytest.raises(ConfigurationError):
+        run_scenario("definitely-not-a-scenario", seed=1)

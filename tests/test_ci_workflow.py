@@ -40,6 +40,7 @@ def test_has_lint_analyze_test_bench_and_perf_jobs(workflow):
         "bench-smoke",
         "chaos-smoke",
         "scale-smoke",
+        "campaign-smoke",
         "perf-gate",
     }
 
@@ -106,6 +107,23 @@ def test_scale_smoke_gates_reduced_point_with_rss_ceiling(workflow):
     gate = next(run for run in runs if "repro.bench.scale" in run)
     assert "--compare benchmarks/results/scale_seed.json" in gate
     assert "--max-rss-mb" in gate
+
+
+def test_campaign_smoke_gates_sweep_and_report_drift(workflow):
+    runs = [
+        step.get("run") or ""
+        for step in workflow["jobs"]["campaign-smoke"]["steps"]
+    ]
+    gate = next(run for run in runs if "repro campaign run" in run)
+    assert "--spec benchmarks/campaigns/smoke.json" in gate
+    assert "--compare benchmarks/results/campaigns/smoke/snapshot.json" in gate
+    regen = next(run for run in runs if "repro campaign report" in run)
+    assert "git diff --exit-code benchmarks/results/campaigns/smoke" in regen
+
+
+def test_analyze_job_runs_experiments_footer_gate(workflow):
+    runs = [step.get("run") or "" for step in workflow["jobs"]["analyze"]["steps"]]
+    assert any("tools/check_experiments.py" in run for run in runs)
 
 
 def test_perf_gate_runs_both_codecs_against_committed_baselines(workflow):

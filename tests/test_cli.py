@@ -51,6 +51,36 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["faults"])
 
+    def test_campaign_run_flags(self):
+        args = build_parser().parse_args(
+            [
+                "campaign", "run",
+                "--spec", "benchmarks/campaigns/smoke.json",
+                "--seed", "7", "--parallel", "4", "--json",
+            ]
+        )
+        assert args.command == "campaign"
+        assert args.action == "run"
+        assert args.spec == "benchmarks/campaigns/smoke.json"
+        assert args.seed == 7
+        assert args.parallel == 4
+        assert args.json is True
+        assert args.point is None
+
+    def test_campaign_report_flags(self):
+        args = build_parser().parse_args(
+            ["campaign", "report", "--snapshot", "snap.json", "--out", "dir"]
+        )
+        assert args.action == "report"
+        assert args.snapshot == "snap.json"
+        assert args.out == "dir"
+
+    def test_campaign_requires_action_and_spec(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign", "run"])
+
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])

@@ -1,5 +1,6 @@
 """Tier-1 mirrors of the CI doc gates (tools/check_metric_docs.py,
-tools/check_docstrings.py), so drift fails locally before it fails CI."""
+tools/check_docstrings.py, tools/check_experiments.py), so drift fails
+locally before it fails CI."""
 
 import importlib.util
 import pathlib
@@ -28,6 +29,11 @@ def docstrings():
     return _load("check_docstrings")
 
 
+@pytest.fixture(scope="module")
+def experiments():
+    return _load("check_experiments")
+
+
 class TestMetricDocs:
     def test_gate_is_clean(self, metric_docs):
         assert metric_docs.main() == 0
@@ -53,4 +59,35 @@ class TestDocstrings:
         assert docstrings.main() == 0
 
     def test_covers_the_promised_packages(self, docstrings):
-        assert set(docstrings.COVERED) == {"auth", "obs", "faults"}
+        assert set(docstrings.COVERED) == {
+            "auth",
+            "bench",
+            "campaigns",
+            "faults",
+            "messaging",
+            "obs",
+        }
+
+
+class TestExperiments:
+    def test_gate_is_clean(self, experiments):
+        assert experiments.process(write=False) == 0
+
+    def test_cited_benches_exist_and_are_classified(self, experiments):
+        text = experiments.EXPERIMENTS.read_text(encoding="utf-8")
+        cited = experiments.cited_in(text)
+        assert "bench_table3_hops.py" in cited
+        assert "bench_scale.py" in cited
+        for name in cited:
+            assert (experiments.BENCH_DIR / name).exists()
+        assert experiments.bench_style(
+            experiments.BENCH_DIR / "bench_table3_hops.py"
+        ) == "pytest"
+        assert experiments.bench_style(
+            experiments.BENCH_DIR / "bench_scale.py"
+        ) == "script"
+
+    def test_script_style_footer_carries_the_warning(self, experiments):
+        footer = experiments.footer_block(["bench_scale.py"])
+        assert "not collected by `pytest benchmarks/`" in footer
+        assert "PYTHONPATH=src python benchmarks/bench_scale.py" in footer

@@ -1,0 +1,155 @@
+#!/usr/bin/env python3
+"""Drift gate for EXPERIMENTS.md's regeneration instructions.
+
+EXPERIMENTS.md cites one ``benchmarks/bench_*.py`` entry point per
+table; this tool audits those citations against the actual files and
+maintains a generated "how to regenerate" footer per table:
+
+* every cited benchmark file must exist;
+* every section citing benchmarks must carry a footer block (between
+  ``<!-- regen:begin -->`` / ``<!-- regen:end -->`` markers) with the
+  correct command for each cited file — **pytest-style** benches (the
+  ones ``pytest benchmarks/`` collects) get a ``python -m pytest``
+  line, **script-style** benches (``bench_scale.py``) get a plain
+  ``python`` line, because the blanket pytest invocation silently
+  skips them.
+
+``--write`` rewrites the footers in place; without it the tool exits 1
+on any drift (CI's ``analyze`` job and tests/test_doc_gates.py run the
+check mode).
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+EXPERIMENTS = REPO / "EXPERIMENTS.md"
+BENCH_DIR = REPO / "benchmarks"
+
+BEGIN = "<!-- regen:begin -->"
+END = "<!-- regen:end -->"
+
+_CITE = re.compile(r"(?:benchmarks/)?\b(bench_\w+\.py)")
+_SECTION = re.compile(r"^## ", re.MULTILINE)
+
+
+def bench_style(path: pathlib.Path) -> str:
+    """``pytest`` if the file defines test functions, else ``script``."""
+    text = path.read_text(encoding="utf-8")
+    return "pytest" if re.search(r"^def test_", text, re.MULTILINE) else "script"
+
+
+def regen_command(name: str) -> str:
+    """The regeneration command line for one benchmark file."""
+    path = BENCH_DIR / name
+    if bench_style(path) == "pytest":
+        return f"PYTHONPATH=src python -m pytest benchmarks/{name} -s"
+    return f"PYTHONPATH=src python benchmarks/{name}"
+
+
+def footer_block(cited: list[str]) -> str:
+    """The expected generated footer for a section's cited files."""
+    lines = [BEGIN]
+    for name in cited:
+        style = bench_style(BENCH_DIR / name)
+        suffix = (
+            ""
+            if style == "pytest"
+            else " *(script-style: not collected by `pytest benchmarks/`)*"
+        )
+        lines.append(f"> Regenerate: `{regen_command(name)}`{suffix}")
+    lines.append(END)
+    return "\n".join(lines)
+
+
+def split_sections(text: str) -> list[tuple[int, int]]:
+    """(start, end) offsets of every ``## `` section in the document."""
+    starts = [match.start() for match in _SECTION.finditer(text)]
+    return [
+        (start, starts[i + 1] if i + 1 < len(starts) else len(text))
+        for i, start in enumerate(starts)
+    ]
+
+
+def cited_in(section: str) -> list[str]:
+    """Benchmark files cited in a section, in first-mention order."""
+    seen: list[str] = []
+    for match in _CITE.finditer(section):
+        if match.group(1) not in seen:
+            seen.append(match.group(1))
+    return seen
+
+
+def _strip_footer(section: str) -> str:
+    """The section with any existing footer block removed."""
+    start = section.find(BEGIN)
+    if start == -1:
+        return section
+    end = section.find(END, start)
+    if end == -1:
+        return section[:start].rstrip() + "\n"
+    return (section[:start] + section[end + len(END) :].lstrip("\n")).rstrip() + "\n"
+
+
+def process(write: bool) -> int:
+    """Audit (and with ``write``, update) the regeneration footers."""
+    text = EXPERIMENTS.read_text(encoding="utf-8")
+    findings: list[str] = []
+
+    for name in cited_in(text):
+        if not (BENCH_DIR / name).exists():
+            findings.append(f"EXPERIMENTS.md cites missing file benchmarks/{name}")
+    if findings:
+        for finding in findings:
+            print(f"EXPERIMENTS: {finding}")
+        return 1
+
+    rebuilt: list[str] = []
+    sections = split_sections(text)
+    rebuilt.append(text[: sections[0][0]] if sections else text)
+    for start, end in sections:
+        section = text[start:end]
+        cited = cited_in(section)
+        if not cited:
+            rebuilt.append(section)
+            continue
+        body = _strip_footer(section)
+        expected = footer_block(cited)
+        updated = body.rstrip() + "\n\n" + expected + "\n\n"
+        if updated != section:
+            title = section.splitlines()[0][3:]
+            findings.append(f"section {title!r}: regeneration footer out of date")
+        rebuilt.append(updated)
+
+    new_text = "".join(rebuilt)
+    if not new_text.endswith("\n"):
+        new_text += "\n"
+
+    if write:
+        EXPERIMENTS.write_text(new_text, encoding="utf-8")
+        print(f"EXPERIMENTS.md footers rewritten ({len(findings)} updated)")
+        return 0
+    for finding in findings:
+        print(f"EXPERIMENTS: {finding} (run tools/check_experiments.py --write)")
+    if not findings:
+        cited = cited_in(text)
+        print(f"experiments doc clean: {len(cited)} cited benchmarks, footers current")
+    return 1 if findings else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry: check by default, ``--write`` to update in place."""
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--write", action="store_true", help="rewrite footers in place"
+    )
+    args = parser.parse_args(argv)
+    return process(write=args.write)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
