@@ -1,18 +1,28 @@
 #!/usr/bin/env python3
-"""Downstream analytics on a trace stream: uptime records and forecasts.
+"""Downstream analytics on a trace stream: the persistent store end to end.
 
 The tracing scheme delivers verified traces; this example shows what a
 consumer builds on top of them:
 
-* an AvailabilityArchive turning change notifications into per-entity
-  uptime records (availability %, outage count, MTTR),
+* an AnalyticsStore persisting every trace (plus the run's journal
+  evidence) into a queryable, snapshot-able event log,
+* an AvailabilityArchive — per-entity uptime records (availability %,
+  outage count, MTTR) materialized from that store,
 * a NetworkForecaster running NWS-style predictors (the paper's Ref [4])
-  over NETWORK_METRICS traces to answer "what RTT should I expect?".
+  over NETWORK_METRICS traces to answer "what RTT should I expect?",
+* the SLO report (`repro.analytics.reports`) answering the same
+  questions offline, straight from the persisted events.
 
 Run:  python examples/availability_analytics.py
 """
 
 from repro import build_deployment
+from repro.analytics import (
+    AnalyticsStore,
+    build_report,
+    ingest_journal,
+    render_report_text,
+)
 from repro.tracing.archive import AvailabilityArchive
 from repro.tracing.failure import AdaptivePingPolicy
 from repro.tracing.forecast import NetworkForecaster
@@ -32,8 +42,9 @@ def main() -> None:
     tracker = dep.add_tracker("analytics")
     tracker.connect("b2")
 
-    archive = AvailabilityArchive(tracker)
-    forecaster = NetworkForecaster(tracker)
+    store = AnalyticsStore()          # or AnalyticsStore("sqlite", path=...)
+    archive = AvailabilityArchive(tracker, store=store)
+    forecaster = NetworkForecaster(tracker, store=store)
 
     flaky.start("b1")
     steady.start("b1")
@@ -68,6 +79,16 @@ def main() -> None:
         best = forecaster.rtt[name].best_predictor()
         print(f"  {name:<14s} expected RTT {rtt:6.2f} ms "
               f"(best predictor: {best})")
+
+    # fold the journal in so the persisted log also holds audit evidence
+    # (sessions created, keys distributed, recoveries), then query offline
+    ingest_journal(store, dep.journal)
+    store.set_meta(example="availability_analytics", now_ms=dep.sim.now)
+
+    summary = store.summary()
+    print(f"\n== persistent store: {summary['events']} events "
+          f"({summary['backend']} backend) ==")
+    print(render_report_text(build_report(store)))
 
 
 if __name__ == "__main__":

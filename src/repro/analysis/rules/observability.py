@@ -28,6 +28,7 @@ from repro.analysis.project import ProjectChecker, ProjectIndex
 KNOWN_FAMILIES = frozenset(
     {
         "analysis",
+        "analytics",
         "auth",
         "broker",
         "campaign",
@@ -143,6 +144,7 @@ NON_INSTRUMENT_DOC_TOKENS = frozenset(
         "trace.suppressed_no_subscriber",
         "trace.sessions_created",
         "trace.sessions_superseded",
+        "trace.keys_distributed",
     }
 )
 

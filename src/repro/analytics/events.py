@@ -1,0 +1,54 @@
+"""The analytics event row: one immutable record in the availability store.
+
+Where a :class:`~repro.obs.journal.JournalRecord` narrates a protocol
+moment for an operator, an :class:`AnalyticsEvent` is the *persisted*
+form of that moment: sequence-numbered by the backend that stored it, with
+the columns availability queries group by (``entity``, ``broker``) and an
+optional numeric ``value`` (a latency, a recovery time) promoted out of
+the free-form ``fields`` so backends can index and aggregate without
+parsing JSON.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+
+@dataclass(frozen=True, slots=True)
+class AnalyticsEvent:
+    """One stored analytics event; ``seq`` is assigned by the backend."""
+
+    seq: int
+    time_ms: float
+    kind: str
+    entity: str | None = None
+    broker: str | None = None
+    value: float | None = None
+    fields: Mapping[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """JSON-ready row form; :meth:`from_dict` round-trips it."""
+        out: dict = {"seq": self.seq, "time_ms": self.time_ms, "kind": self.kind}
+        if self.entity is not None:
+            out["entity"] = self.entity
+        if self.broker is not None:
+            out["broker"] = self.broker
+        if self.value is not None:
+            out["value"] = self.value
+        if self.fields:
+            out["fields"] = dict(self.fields)
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "AnalyticsEvent":
+        """Rebuild an event from its :meth:`to_dict` form."""
+        return cls(
+            seq=int(data["seq"]),
+            time_ms=float(data["time_ms"]),
+            kind=str(data["kind"]),
+            entity=data.get("entity"),
+            broker=data.get("broker"),
+            value=(float(data["value"]) if data.get("value") is not None else None),
+            fields=dict(data.get("fields", {})),
+        )

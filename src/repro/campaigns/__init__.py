@@ -38,7 +38,12 @@ from repro.campaigns.spec import (
     load_spec,
     unused_parameters,
 )
-from repro.campaigns.workloads import WORKLOADS, WorkloadFamily, workload_family
+from repro.campaigns.workloads import (
+    WORKLOADS,
+    WorkloadFamily,
+    observe_deployments,
+    workload_family,
+)
 
 __all__ = [
     "WORKLOADS",
@@ -52,6 +57,7 @@ __all__ = [
     "generate_report",
     "ignored_axes",
     "load_spec",
+    "observe_deployments",
     "render_snapshot",
     "run_campaign",
     "run_point",

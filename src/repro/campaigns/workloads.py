@@ -27,6 +27,7 @@ Families:
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Callable
 
@@ -54,6 +55,34 @@ CAMPAIGN_COUNTERS = (
 
 #: Virtual instant entities/trackers are bootstrapped by and tracking begins.
 _TRACK_AT_MS = 3_000.0
+
+#: Active deployment probe (``observe_deployments``); families that build a
+#: tracing deployment hand it to the probe after their horizon, which is how
+#: the analytics audit gate inspects campaign runs without changing any
+#: family's snapshot shape.
+_DEPLOYMENT_PROBE: Callable | None = None
+
+
+@contextmanager
+def observe_deployments(probe: Callable):
+    """Call ``probe(deployment)`` after every tracing-family run inside.
+
+    Baseline families build no deployment and are never probed.  The
+    probe only *reads* (counters, journal, analytics) — run outcomes are
+    already sealed by the time it fires, so snapshots stay bit-identical.
+    """
+    global _DEPLOYMENT_PROBE
+    previous = _DEPLOYMENT_PROBE
+    _DEPLOYMENT_PROBE = probe
+    try:
+        yield
+    finally:
+        _DEPLOYMENT_PROBE = previous
+
+
+def _probe(dep) -> None:
+    if _DEPLOYMENT_PROBE is not None:
+        _DEPLOYMENT_PROBE(dep)
 
 
 @dataclass(frozen=True, slots=True)
@@ -242,6 +271,7 @@ def run_churn_mobile(params: dict, seed: int) -> dict:
     controller = FaultController(dep, _churn_plan(entity_ids, params))
     controller.start()
     dep.sim.run(until=duration_ms)
+    _probe(dep)
     return {
         "counters": _counters(dep),
         "faults_injected": dep.metrics.counter_value(
@@ -313,6 +343,7 @@ def run_unauthorized_publisher(params: dict, seed: int) -> dict:
         name="attack.flood",
     )
     dep.sim.run(until=float(params["duration_ms"]))
+    _probe(dep)
     return {
         "counters": _counters(dep),
         "attack": {"attempts": attacker.attempts},
@@ -372,6 +403,7 @@ def run_token_replay_flood(params: dict, seed: int) -> dict:
     else:  # pragma: no cover - bootstrap always publishes within 14 s
         verify_before = 0
     dep.sim.run(until=float(params["duration_ms"]))
+    _probe(dep)
     return {
         "counters": _counters(dep),
         "attack": {
@@ -437,6 +469,7 @@ def run_malicious_termination(params: dict, seed: int) -> dict:
         name="attack.termination-flood",
     )
     dep.sim.run(until=float(params["duration_ms"]))
+    _probe(dep)
     return {
         "counters": _counters(dep),
         "attack": {"attempts": attacker.attempts},

@@ -33,6 +33,7 @@ Commands
 from __future__ import annotations
 
 import argparse
+import pathlib
 import sys
 
 from repro import __version__
@@ -455,6 +456,78 @@ def _cmd_bench(args) -> int:
     return 0
 
 
+def _cmd_analytics(args) -> int:
+    """Drive the availability analytics store (docs/ANALYTICS.md).
+
+    ``analytics run`` executes one chaos scenario with the store
+    attached, enforces the audit-completeness gate, and writes (or
+    prints) the store snapshot JSON — this is how the committed seed
+    under ``benchmarks/results/analytics/`` is produced.  ``analytics
+    report`` renders the SLO report (text, JSON or markdown) from such a
+    snapshot, deterministically: CI regenerates the committed report
+    from the committed snapshot and fails on any byte of drift.
+    """
+    from repro.analytics import (
+        AnalyticsStore,
+        build_report,
+        render_report_json,
+        render_report_markdown,
+        render_report_text,
+    )
+
+    if args.action == "run":
+        from repro.errors import AuditIncompleteError
+        from repro.faults import run_scenario
+        from repro.analytics import assert_audit_complete
+
+        store = AnalyticsStore(backend=args.backend, **(
+            {"path": args.db} if args.backend == "sqlite" and args.db else {}
+        ))
+        audit_failures: list[str] = []
+
+        def _probe(dep) -> None:
+            if args.no_audit:
+                return
+            try:
+                assert_audit_complete(dep)
+            except AuditIncompleteError as exc:
+                audit_failures.append(str(exc))
+
+        run_scenario(
+            args.scenario,
+            seed=args.seed,
+            analytics_store=store,
+            deployment_probe=_probe,
+        )
+        if audit_failures:
+            print(audit_failures[0], file=sys.stderr)
+            return 1
+        if args.out:
+            store.save(args.out)
+            print(f"wrote {store.count()} events to {args.out}")
+        else:
+            print(store.export_json())
+        return 0
+
+    if args.action == "report":
+        store = AnalyticsStore.load(args.snapshot)
+        report = build_report(store)
+        renderers = {
+            "text": render_report_text,
+            "json": render_report_json,
+            "markdown": render_report_markdown,
+        }
+        rendered = renderers[args.format](report) + "\n"
+        if args.out:
+            pathlib.Path(args.out).write_text(rendered, encoding="utf-8")
+            print(f"wrote {args.out}")
+        else:
+            print(rendered, end="")
+        return 0
+
+    return 2  # pragma: no cover - argparse restricts actions
+
+
 def _cmd_demo(args) -> int:
     from repro import build_deployment, TraceType
 
@@ -654,6 +727,46 @@ def build_parser() -> argparse.ArgumentParser:
                                  help="output directory (default: next to "
                                       "the snapshot)")
 
+    analytics = sub.add_parser(
+        "analytics",
+        help="persistent availability analytics (docs/ANALYTICS.md)",
+    )
+    analytics_sub = analytics.add_subparsers(dest="action", required=True)
+    analytics_run = analytics_sub.add_parser(
+        "run", help="run a chaos scenario with the analytics store attached"
+    )
+    analytics_run.add_argument(
+        "--scenario",
+        required=True,
+        choices=["broker-crash", "link-partition", "packet-loss",
+                 "delay-spike", "entity-churn"],
+        help="scenario from the docs/FAULTS.md catalog",
+    )
+    analytics_run.add_argument("--seed", type=int, default=42)
+    analytics_run.add_argument("--backend", choices=["memory", "sqlite"],
+                               default="memory",
+                               help="analytics backend (default: memory)")
+    analytics_run.add_argument("--db", metavar="FILE", default=None,
+                               help="sqlite database path "
+                                    "(default: in-memory)")
+    analytics_run.add_argument("--out", metavar="FILE", default=None,
+                               help="write the store snapshot JSON to FILE "
+                                    "(default: print it)")
+    analytics_run.add_argument("--no-audit", action="store_true",
+                               help="skip the audit-completeness gate")
+    analytics_report = analytics_sub.add_parser(
+        "report", help="render the SLO report from a store snapshot"
+    )
+    analytics_report.add_argument("--snapshot", required=True, metavar="FILE",
+                                  help="store snapshot JSON "
+                                       "(see benchmarks/results/analytics/)")
+    analytics_report.add_argument("--format",
+                                  choices=["text", "json", "markdown"],
+                                  default="text")
+    analytics_report.add_argument("--out", metavar="FILE", default=None,
+                                  help="write the rendering to FILE "
+                                       "(default: print it)")
+
     return parser
 
 
@@ -668,6 +781,7 @@ def main(argv: list[str] | None = None) -> int:
         "analyze": _cmd_analyze,
         "faults": _cmd_faults,
         "campaign": _cmd_campaign,
+        "analytics": _cmd_analytics,
     }
     return handlers[args.command](args)
 

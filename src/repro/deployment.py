@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import Iterable, Mapping
+from typing import TYPE_CHECKING, Iterable, Mapping
 
 from repro.auth.cache import DEFAULT_TOKEN_CACHE_CAPACITY, TokenVerificationCache
 from repro.auth.credentials import EntityCredentials
@@ -38,6 +38,9 @@ from repro.transport.tcp import TCP_CLUSTER
 from repro.util.clock import NTPSkewModel
 from repro.util.identifiers import EntityId
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.analytics import AnalyticsStore
+
 
 @dataclass
 class Deployment:
@@ -57,6 +60,8 @@ class Deployment:
     #: per-broker verifiers backing each broker's publish guard; their
     #: verification caches are per-process state, cleared on restart
     broker_verifiers: dict[str, TokenVerifier] = field(default_factory=dict)
+    #: optional persistent analytics store (``attach_analytics``)
+    analytics: "AnalyticsStore | None" = field(default=None)
 
     # ------------------------------------------------------------- principals
 
@@ -113,6 +118,10 @@ class Deployment:
             verify_traces=verify_traces,
         )
         self.trackers[tracker_id] = tracker
+        if self.analytics is not None:
+            from repro.analytics import TraceIngestor
+
+            TraceIngestor(self.analytics, tracker)
         return tracker
 
     def manager_of(self, broker_id: str) -> TraceManager:
@@ -149,8 +158,56 @@ class Deployment:
         return self.monitor.journal
 
     def snapshot(self) -> dict:
-        """One JSON-serializable view of every instrument's current state."""
-        return self.monitor.metrics.snapshot()
+        """One JSON-serializable view of every instrument's current state.
+
+        With an analytics store attached the snapshot grows an
+        ``analytics`` block (backend, event count, kind inventory) so
+        harness output records what the persistent log captured.
+        """
+        snapshot = self.monitor.metrics.snapshot()
+        if self.analytics is not None:
+            snapshot["analytics"] = self.analytics.summary()
+        return snapshot
+
+    def attach_analytics(
+        self, store: "AnalyticsStore | None" = None
+    ) -> "AnalyticsStore":
+        """Attach a persistent analytics store fed by every tracker.
+
+        Creates an in-memory :class:`~repro.analytics.AnalyticsStore`
+        unless one is given, binds it to the deployment's metrics
+        registry (so ``analytics.*`` instruments count ingestion), and
+        hooks the trace feed on every current *and future* tracker.
+        Appends draw no randomness and consume no virtual time, so an
+        instrumented run stays bit-identical to a bare one.
+        """
+        from repro.analytics import AnalyticsStore, TraceIngestor
+
+        if store is None:
+            store = AnalyticsStore()
+        store.bind_metrics(self.metrics)
+        self.analytics = store
+        for tracker in self.trackers.values():
+            TraceIngestor(store, tracker)
+        return store
+
+    def finalize_analytics(self, **meta) -> "AnalyticsStore":
+        """Copy the run's journal into the attached store and stamp meta.
+
+        Call once after the simulation horizon: the journal copy
+        preserves every evidence kind the audit gate checks, and
+        ``now_ms`` (defaulting to the simulator clock) closes open
+        availability intervals in later reports.
+        """
+        from repro.analytics import ingest_journal
+
+        if self.analytics is None:
+            raise ConfigurationError(
+                "finalize_analytics() needs attach_analytics() first"
+            )
+        ingest_journal(self.analytics, self.journal)
+        self.analytics.set_meta(now_ms=self.sim.now, **meta)
+        return self.analytics
 
 
 def tdn_public_keys(tdn: TDNCluster) -> dict[str, RSAPublicKey]:

@@ -145,3 +145,11 @@ class RegistrationError(ReproError):
 
 class InterestError(ReproError):
     """The GUAGE_INTEREST protocol produced an invalid response."""
+
+
+class AnalyticsError(ReproError):
+    """The availability analytics store was misused or misconfigured."""
+
+
+class AuditIncompleteError(AnalyticsError):
+    """A state mutation has no corresponding journal evidence (audit gate)."""

@@ -130,6 +130,7 @@ class FaultController:
                 entity.migrate(event.failover_to),
                 name=f"faults.failover.{entity_id}",
             )
+            self.metrics.counter("faults.failovers").inc()
             self.journal.record(
                 now,
                 "fault.failover",

@@ -199,8 +199,19 @@ def run_scenario(
     duration_ms: float | None = None,
     legacy_hot_paths: bool = False,
     federation: bool = False,
+    analytics_store=None,
+    deployment_probe=None,
 ) -> dict:
-    """Run one scenario end to end and return its snapshot dict."""
+    """Run one scenario end to end and return its snapshot dict.
+
+    ``analytics_store`` (an :class:`~repro.analytics.AnalyticsStore`)
+    attaches the persistent analytics feeds before the run and finalizes
+    them — journal copy plus run metadata — after the horizon; store
+    appends draw no randomness and consume no virtual time, so the
+    snapshot stays bit-identical to an uninstrumented run.
+    ``deployment_probe`` is called with the live deployment after the
+    run (the audit gate uses this to inspect counters and journal).
+    """
     plan = scenario_plan(name)
     if duration_ms is None:
         duration_ms = SCENARIOS[name][1]
@@ -212,6 +223,8 @@ def run_scenario(
     dep = build_chaos_deployment(
         seed, legacy_hot_paths=legacy_hot_paths, federation=federation
     )
+    if analytics_store is not None:
+        dep.attach_analytics(analytics_store)
     entity = dep.add_traced_entity(ENTITY_ID)
     tracker = dep.add_tracker(TRACKER_ID)
     tracker.interest_refresh_ms = 0.0
@@ -224,6 +237,11 @@ def run_scenario(
     dep.sim.run(until=3_000)
     tracker.track(ENTITY_ID)
     dep.sim.run(until=duration_ms)
+
+    if analytics_store is not None:
+        dep.finalize_analytics(scenario=name, seed=seed, duration_ms=duration_ms)
+    if deployment_probe is not None:
+        deployment_probe(dep)
 
     registry = dep.metrics
     counters = {name_: registry.counter_value(name_) for name_ in CHAOS_COUNTERS}

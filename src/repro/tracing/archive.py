@@ -1,148 +1,117 @@
-"""Availability archive: turn a trace stream into an availability record.
+"""Availability archive: a live per-entity view over the analytics store.
 
 A downstream consumer of the tracing scheme usually wants more than raw
 traces: *was the service up at 14:02?  what is its uptime?  how long do
-its outages last?*  The archive consumes a tracker's verified traces and
-maintains, per entity, an interval timeline of availability from which
-those statistics derive.
+its outages last?*  The archive answers those per entity.
 
-Availability semantics: an entity is **up** from its JOIN (or first
-READY) until a FAILED, DISCONNECT, SHUTDOWN or REVERTING_TO_SILENT_MODE
-trace; FAILURE_SUSPICION marks the entity *suspect* but not yet down;
-RECOVERING counts as up (it is responding).  A later JOIN/READY after a
-down-marker opens a new up-interval.
+Since the analytics store landed (docs/ANALYTICS.md) the archive is a
+**view**, not a second bookkeeper: attaching it installs a
+:class:`~repro.analytics.TraceIngestor` so every verified trace is
+persisted as a ``trace.observed`` store event, and the per-entity
+records are materialized *from those stored events* via the shared
+interval algebra in :mod:`repro.analytics.availability`.  The pre-store
+API is preserved as a shim — :class:`EntityRecord` extends
+:class:`~repro.analytics.EntityTimeline` with the old
+``observe(ReceivedTrace)`` entry point, :class:`Interval` is re-exported
+— and record references stay live: materialization runs on every trace
+arrival, so a record handed out earlier keeps updating.
+
+Availability semantics (defined once, in
+:mod:`repro.analytics.availability`): an entity is **up** from its JOIN
+(or first READY) until a FAILED, DISCONNECT, SHUTDOWN or
+REVERTING_TO_SILENT_MODE trace; FAILURE_SUSPICION marks the entity
+*suspect* but not yet down; RECOVERING counts as up.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
+from repro.analytics.availability import (
+    TRACE_OBSERVED,
+    EntityTimeline,
+    Interval,
+)
+from repro.analytics.ingest import TraceIngestor
+from repro.analytics.store import AnalyticsStore
 from repro.tracing.tracker import ReceivedTrace, Tracker
-from repro.tracing.traces import TraceType
 
-#: Trace types that open an availability interval.
-_UP_MARKERS = frozenset(
-    {TraceType.JOIN, TraceType.READY, TraceType.RECOVERING, TraceType.ALLS_WELL}
-)
-#: Trace types that close one.
-_DOWN_MARKERS = frozenset(
-    {
-        TraceType.FAILED,
-        TraceType.DISCONNECT,
-        TraceType.SHUTDOWN,
-        TraceType.REVERTING_TO_SILENT_MODE,
-    }
-)
+__all__ = ["AvailabilityArchive", "EntityRecord", "Interval"]
 
 
-@dataclass(frozen=True, slots=True)
-class Interval:
-    """One closed-or-open availability interval."""
+class EntityRecord(EntityTimeline):
+    """Deprecated name for :class:`~repro.analytics.EntityTimeline`.
 
-    start_ms: float
-    end_ms: float | None  # None while still up
-
-    def duration_ms(self, now_ms: float) -> float:
-        end = self.end_ms if self.end_ms is not None else now_ms
-        return max(0.0, end - self.start_ms)
-
-    def contains(self, t_ms: float, now_ms: float) -> bool:
-        end = self.end_ms if self.end_ms is not None else now_ms
-        return self.start_ms <= t_ms < end
-
-
-@dataclass(slots=True)
-class EntityRecord:
-    """Availability state and history for one entity."""
-
-    entity_id: str
-    intervals: list[Interval] = field(default_factory=list)
-    suspect_since_ms: float | None = None
-    last_trace_ms: float | None = None
-    down_count: int = 0
-
-    @property
-    def up(self) -> bool:
-        return bool(self.intervals) and self.intervals[-1].end_ms is None
-
-    def _open(self, t_ms: float) -> None:
-        if not self.up:
-            self.intervals.append(Interval(start_ms=t_ms, end_ms=None))
-
-    def _close(self, t_ms: float) -> None:
-        if self.up:
-            last = self.intervals[-1]
-            self.intervals[-1] = Interval(last.start_ms, t_ms)
-            self.down_count += 1
+    Kept so pre-store callers (and tests) that build records directly and
+    feed them :class:`~repro.tracing.tracker.ReceivedTrace` objects keep
+    working; new code should use the timeline API on analytics events.
+    """
 
     def observe(self, trace: ReceivedTrace) -> None:
-        self.last_trace_ms = trace.received_ms
-        if trace.trace_type in _UP_MARKERS:
-            self._open(trace.received_ms)
-            self.suspect_since_ms = None
-        elif trace.trace_type is TraceType.FAILURE_SUSPICION:
-            if self.suspect_since_ms is None:
-                self.suspect_since_ms = trace.received_ms
-        elif trace.trace_type in _DOWN_MARKERS:
-            self._close(trace.received_ms)
-            self.suspect_since_ms = None
-
-    # ------------------------------------------------------------- statistics
-
-    def uptime_ms(self, now_ms: float) -> float:
-        return sum(i.duration_ms(now_ms) for i in self.intervals)
-
-    def availability(self, now_ms: float) -> float:
-        """Fraction of time up since first observed, in [0, 1]."""
-        if not self.intervals:
-            return 0.0
-        observed = now_ms - self.intervals[0].start_ms
-        if observed <= 0:
-            return 1.0 if self.up else 0.0
-        return min(1.0, self.uptime_ms(now_ms) / observed)
-
-    def was_up_at(self, t_ms: float, now_ms: float) -> bool:
-        return any(i.contains(t_ms, now_ms) for i in self.intervals)
-
-    def mean_time_to_recover_ms(self) -> float | None:
-        """Mean gap between an interval's end and the next one's start."""
-        gaps = [
-            later.start_ms - earlier.end_ms
-            for earlier, later in zip(self.intervals, self.intervals[1:], strict=False)
-            if earlier.end_ms is not None
-        ]
-        return sum(gaps) / len(gaps) if gaps else None
+        """Advance the record with one received trace (legacy entry point)."""
+        self.apply(trace.trace_type.value, trace.received_ms)
 
 
 class AvailabilityArchive:
-    """Attach to a tracker and build availability records live."""
+    """Attach to a tracker; maintain availability records over the store.
 
-    def __init__(self, tracker: Tracker) -> None:
+    ``store`` defaults to a private in-memory
+    :class:`~repro.analytics.AnalyticsStore`; pass a shared one to make
+    the same persisted log feed the archive, the SLO reports and the
+    ``repro analytics`` CLI at once.
+    """
+
+    def __init__(self, tracker: Tracker, store: AnalyticsStore | None = None) -> None:
         self.tracker = tracker
-        self.records: dict[str, EntityRecord] = {}
-        self._previous_hook = tracker.on_trace
-        tracker.on_trace = self._observe
+        self.store = store if store is not None else AnalyticsStore()
+        self._records: dict[str, EntityRecord] = {}
+        self._seen_seq = 0
+        # the ingestor persists the trace (chaining any prior hook), then
+        # our hook folds the newly stored events into the record view —
+        # reads always derive from what the store actually holds
+        self._ingestor = TraceIngestor(self.store, tracker)
+        inner = tracker.on_trace
 
-    def _observe(self, trace: ReceivedTrace) -> None:
-        record = self.records.get(trace.entity_id)
-        if record is None:
-            record = EntityRecord(entity_id=trace.entity_id)
-            self.records[trace.entity_id] = record
-        record.observe(trace)
-        if self._previous_hook is not None:
-            self._previous_hook(trace)
+        def _hook(trace: ReceivedTrace) -> None:
+            inner(trace)
+            self._materialize()
+
+        tracker.on_trace = _hook
+
+    def _materialize(self) -> None:
+        """Fold store events newer than the last seen seq into records."""
+        fresh = [
+            event
+            for event in self.store.events(kind=TRACE_OBSERVED)
+            if event.seq > self._seen_seq and event.entity is not None
+        ]
+        fresh.sort(key=lambda event: (event.time_ms, event.seq))
+        for event in fresh:
+            record = self._records.get(event.entity)
+            if record is None:
+                record = EntityRecord(entity_id=event.entity)
+                self._records[event.entity] = record
+            record.apply(str(event.fields.get("trace_type", "")), event.time_ms)
+            if event.seq > self._seen_seq:
+                self._seen_seq = event.seq
+
+    @property
+    def records(self) -> dict[str, EntityRecord]:
+        """Entity id -> record, refreshed from the store on access."""
+        self._materialize()
+        return self._records
 
     def record_of(self, entity_id: str) -> EntityRecord | None:
-        return self.records.get(entity_id)
+        self._materialize()
+        return self._records.get(entity_id)
 
     def report(self, now_ms: float) -> str:
         """A small availability report for every observed entity."""
+        self._materialize()
         lines = [
             f"{'entity':<20s} {'state':>8s} {'uptime %':>9s} {'outages':>8s} "
             f"{'MTTR (s)':>9s}"
         ]
-        for entity_id in sorted(self.records):
-            record = self.records[entity_id]
+        for entity_id in sorted(self._records):
+            record = self._records[entity_id]
             mttr = record.mean_time_to_recover_ms()
             lines.append(
                 f"{entity_id:<20s} {'up' if record.up else 'down':>8s} "

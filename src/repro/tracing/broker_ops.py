@@ -298,6 +298,17 @@ class TraceManager:
         )
         self._publish_plain(response_topic.canonical, sealed.to_dict())
         self.monitor.increment("trace.sessions_created")
+        # audit evidence: every session the counter above counts must be
+        # reconstructible from the journal (repro.analytics.audit)
+        self.monitor.journal.record(
+            self.sim.now,
+            "session.created",
+            principal=str(request.entity_id),
+            entity=str(request.entity_id),
+            broker=self.broker.broker_id,
+            session=key[:8],
+            superseded_previous=previous is not None,
+        )
         if self.recovery_probe is not None:
             self.recovery_probe.mark_reregistered(
                 str(request.entity_id), self.sim.now
@@ -795,6 +806,15 @@ class TraceManager:
         )
         self._publish_plain(response_topic, payload.to_dict())
         self.monitor.increment("trace.keys_distributed")
+        # audit evidence for the key hand-off (repro.analytics.audit)
+        self.monitor.journal.record(
+            self.machine.now(),
+            "key.distributed",
+            principal=str(session.entity_id),
+            entity=str(session.entity_id),
+            broker=self.broker.broker_id,
+            tracker=tracker_id,
+        )
 
     # --------------------------------------------------------------- publication
 

@@ -108,11 +108,19 @@ class SeriesForecaster:
 
 
 class NetworkForecaster:
-    """Attach to a tracker; forecast RTT and loss per traced entity."""
+    """Attach to a tracker; forecast RTT and loss per traced entity.
 
-    def __init__(self, tracker: Tracker, window: int = 10) -> None:
+    With ``store`` given (an :class:`~repro.analytics.AnalyticsStore`),
+    every NETWORK_METRICS sample is also persisted as a
+    ``network.metrics`` analytics event (``value`` = mean RTT,
+    ``loss_rate`` in the fields), so forecasts can be reproduced offline
+    from the same log the availability reports read.
+    """
+
+    def __init__(self, tracker: Tracker, window: int = 10, store=None) -> None:
         self.tracker = tracker
         self.window = window
+        self.store = store
         self.rtt: dict[str, SeriesForecaster] = {}
         self.loss: dict[str, SeriesForecaster] = {}
         self._previous_hook = tracker.on_trace
@@ -124,8 +132,18 @@ class NetworkForecaster:
             if entity not in self.rtt:
                 self.rtt[entity] = SeriesForecaster(self.window)
                 self.loss[entity] = SeriesForecaster(self.window)
-            self.rtt[entity].observe(float(trace.payload["mean_rtt_ms"]))
-            self.loss[entity].observe(float(trace.payload["loss_rate"]))
+            rtt_ms = float(trace.payload["mean_rtt_ms"])
+            loss_rate = float(trace.payload["loss_rate"])
+            self.rtt[entity].observe(rtt_ms)
+            self.loss[entity].observe(loss_rate)
+            if self.store is not None:
+                self.store.append(
+                    trace.received_ms,
+                    "network.metrics",
+                    entity=entity,
+                    value=rtt_ms,
+                    loss_rate=loss_rate,
+                )
         if self._previous_hook is not None:
             self._previous_hook(trace)
 

@@ -1,0 +1,75 @@
+"""Tier-1 mirror of CI's analytics-smoke step: committed artifacts are
+byte-for-byte regenerable, and the run CLI enforces the audit gate."""
+
+import pathlib
+
+from repro.cli import build_parser, main
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+ANALYTICS_DIR = REPO_ROOT / "benchmarks" / "results" / "analytics"
+SEED_SNAPSHOT = ANALYTICS_DIR / "analytics_seed.json"
+SEED_REPORT = ANALYTICS_DIR / "report.md"
+
+
+class TestParser:
+    def test_run_flags(self):
+        args = build_parser().parse_args(
+            ["analytics", "run", "--scenario", "broker-crash",
+             "--backend", "sqlite", "--seed", "7"]
+        )
+        assert args.command == "analytics"
+        assert args.action == "run"
+        assert args.backend == "sqlite"
+        assert args.seed == 7
+
+    def test_report_flags(self):
+        args = build_parser().parse_args(
+            ["analytics", "report", "--snapshot", "x.json",
+             "--format", "markdown"]
+        )
+        assert args.action == "report"
+        assert args.format == "markdown"
+
+
+class TestSeedMirror:
+    def test_run_reproduces_committed_seed_snapshot(self, tmp_path, capsys):
+        out = tmp_path / "analytics_seed.json"
+        code = main(
+            ["analytics", "run", "--scenario", "broker-crash",
+             "--out", str(out)]
+        )
+        capsys.readouterr()
+        assert code == 0
+        assert out.read_bytes() == SEED_SNAPSHOT.read_bytes()
+
+    def test_report_reproduces_committed_markdown(self, tmp_path, capsys):
+        out = tmp_path / "report.md"
+        code = main(
+            ["analytics", "report", "--snapshot", str(SEED_SNAPSHOT),
+             "--format", "markdown", "--out", str(out)]
+        )
+        capsys.readouterr()
+        assert code == 0
+        assert out.read_bytes() == SEED_REPORT.read_bytes()
+
+    def test_sqlite_backend_produces_the_identical_snapshot(
+        self, tmp_path, capsys
+    ):
+        out = tmp_path / "sqlite_seed.json"
+        code = main(
+            ["analytics", "run", "--scenario", "broker-crash",
+             "--backend", "sqlite", "--db", str(tmp_path / "a.db"),
+             "--out", str(out)]
+        )
+        capsys.readouterr()
+        assert code == 0
+        assert out.read_bytes() == SEED_SNAPSHOT.read_bytes()
+
+    def test_report_text_format_prints_to_stdout(self, capsys):
+        code = main(
+            ["analytics", "report", "--snapshot", str(SEED_SNAPSHOT)]
+        )
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "availability report" in captured.out
+        assert "evidence:" in captured.out

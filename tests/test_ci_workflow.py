@@ -126,6 +126,14 @@ def test_analyze_job_runs_experiments_footer_gate(workflow):
     assert any("tools/check_experiments.py" in run for run in runs)
 
 
+def test_analyze_job_gates_analytics_seed_and_report_drift(workflow):
+    runs = [step.get("run") or "" for step in workflow["jobs"]["analyze"]["steps"]]
+    smoke = next(run for run in runs if "repro analytics run" in run)
+    assert "benchmarks/results/analytics/analytics_seed.json" in smoke
+    assert "repro analytics report" in smoke
+    assert "git diff --exit-code benchmarks/results/analytics" in smoke
+
+
 def test_perf_gate_runs_both_codecs_against_committed_baselines(workflow):
     runs = [step.get("run") or "" for step in workflow["jobs"]["perf-gate"]["steps"]]
     assert any(

@@ -60,6 +60,7 @@ class TestDocstrings:
 
     def test_covers_the_promised_packages(self, docstrings):
         assert set(docstrings.COVERED) == {
+            "analytics",
             "auth",
             "bench",
             "campaigns",

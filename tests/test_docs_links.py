@@ -38,3 +38,40 @@ def test_checker_detects_breakage(checker, tmp_path):
     (tmp_path / "docs" / "REAL.md").write_text("[up](../README.md#quick)\n")
     findings = checker.broken_links(tmp_path)
     assert findings == ["README.md: docs/MISSING.md"]
+
+
+def test_every_doc_reachable_from_readme(checker):
+    findings = checker.unreachable_docs(REPO_ROOT)
+    assert not findings, "docs unreachable from README:\n" + "\n".join(findings)
+
+
+def test_reachability_detects_orphan(checker, tmp_path):
+    (tmp_path / "docs").mkdir()
+    (tmp_path / "README.md").write_text("[a](docs/A.md)\n")
+    (tmp_path / "docs" / "A.md").write_text("[b](B.md#anchor)\n")
+    (tmp_path / "docs" / "B.md").write_text("no links\n")
+    (tmp_path / "docs" / "ORPHAN.md").write_text("nobody links here\n")
+    assert checker.unreachable_docs(tmp_path) == ["docs/ORPHAN.md"]
+
+
+def test_analytics_instruments_documented(checker):
+    findings = checker.undocumented_analytics_instruments(REPO_ROOT)
+    assert not findings, (
+        "analytics instruments missing from docs/OBSERVABILITY.md:\n"
+        + "\n".join(findings)
+    )
+
+
+def test_analytics_instrument_check_detects_gap(checker, tmp_path):
+    (tmp_path / "docs").mkdir()
+    (tmp_path / "src").mkdir()
+    (tmp_path / "docs" / "OBSERVABILITY.md").write_text(
+        "documented: `analytics.events.ingested`\n"
+    )
+    (tmp_path / "src" / "mod.py").write_text(
+        'registry.counter("analytics.events.ingested")\n'
+        'registry.gauge("analytics.store.undocumented")\n'
+    )
+    assert checker.undocumented_analytics_instruments(tmp_path) == [
+        "`analytics.store.undocumented`"
+    ]

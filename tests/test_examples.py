@@ -54,6 +54,9 @@ class TestExamples:
         assert "uptime %" in out
         assert "2 outages" in out
         assert "expected RTT" in out
+        assert "persistent store:" in out
+        assert "availability report" in out
+        assert "session.created" in out  # journal evidence reached the store
 
     def test_chaos_recovery(self, capsys):
         out = run_example("chaos_recovery.py", capsys)

@@ -1,13 +1,25 @@
-"""Relative-link checker for the repo's markdown docs.
+"""Relative-link and doc-reachability checker for the repo's markdown docs.
 
-Scans ``README.md`` and ``docs/*.md`` for markdown links, resolves every
-relative target against the linking file's directory, and reports targets
-that do not exist on disk.  External links (http/https/mailto) and
-pure-anchor links are skipped; a ``#fragment`` on a relative link is
-stripped before the existence check.
+Three gates in one pass:
 
-Used two ways: the ``chaos-smoke`` CI job runs it as a script (exit 1 on
-broken links), and ``tests/test_docs_links.py`` imports it so the tier-1
+1. **Broken links** — scans ``README.md`` and ``docs/*.md`` for markdown
+   links, resolves every relative target against the linking file's
+   directory, and reports targets that do not exist on disk.  External
+   links (http/https/mailto) and pure-anchor links are skipped; a
+   ``#fragment`` on a relative link is stripped before the existence
+   check.
+2. **Reachability** — every ``docs/*.md`` must be reachable from
+   ``README.md`` by following relative links (the README's "Document
+   map" promises this), so no page can silently fall out of the
+   navigation graph.
+3. **Analytics instruments** — every literal ``analytics.*`` instrument
+   registered under ``src/`` must appear in ``docs/OBSERVABILITY.md``.
+   The general instrument gate is ``tools/check_metric_docs.py``; this
+   narrow regex check keeps the analytics family honest even when that
+   heavier gate is skipped.
+
+Used two ways: the ``analyze`` CI job runs it as a script (exit 1 on
+findings), and ``tests/test_docs_links.py`` imports it so the tier-1
 suite catches doc rot locally.
 """
 
@@ -23,6 +35,11 @@ LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 
 EXTERNAL_PREFIXES = ("http://", "https://", "mailto:")
 
+#: Literal registry-factory calls registering an analytics.* instrument.
+ANALYTICS_INSTRUMENT_RE = re.compile(
+    r"\b(?:counter|gauge|histogram|timer)\(\s*\"(analytics\.[a-z0-9_.]+)\""
+)
+
 
 def doc_files(root: pathlib.Path) -> list[pathlib.Path]:
     """README.md plus every markdown file under docs/, sorted."""
@@ -36,6 +53,21 @@ def doc_files(root: pathlib.Path) -> list[pathlib.Path]:
 
 def links_in(text: str) -> list[str]:
     return LINK_RE.findall(text)
+
+
+def _relative_md_targets(doc: pathlib.Path) -> list[pathlib.Path]:
+    """Existing .md files ``doc`` links to, resolved."""
+    targets = []
+    for target in links_in(doc.read_text()):
+        if target.startswith(EXTERNAL_PREFIXES) or target.startswith("#"):
+            continue
+        path_part = target.split("#", 1)[0]
+        if not path_part or not path_part.endswith(".md"):
+            continue
+        resolved = (doc.parent / path_part).resolve()
+        if resolved.exists():
+            targets.append(resolved)
+    return targets
 
 
 def broken_links(root: pathlib.Path) -> list[str]:
@@ -54,15 +86,60 @@ def broken_links(root: pathlib.Path) -> list[str]:
     return findings
 
 
+def unreachable_docs(root: pathlib.Path) -> list[str]:
+    """docs/*.md files no chain of links from README.md arrives at."""
+    readme = root / "README.md"
+    if not readme.exists():
+        return []
+    reachable = {readme.resolve()}
+    frontier = [readme]
+    while frontier:
+        doc = frontier.pop()
+        for target in _relative_md_targets(doc):
+            if target not in reachable:
+                reachable.add(target)
+                frontier.append(target)
+    return [
+        str(doc.relative_to(root))
+        for doc in sorted((root / "docs").glob("*.md"))
+        if doc.resolve() not in reachable
+    ]
+
+
+def undocumented_analytics_instruments(root: pathlib.Path) -> list[str]:
+    """Literal ``analytics.*`` instruments missing from OBSERVABILITY.md."""
+    doc = root / "docs" / "OBSERVABILITY.md"
+    if not doc.exists():
+        return []
+    doc_text = doc.read_text()
+    names: set[str] = set()
+    for source in sorted((root / "src").rglob("*.py")):
+        names.update(ANALYTICS_INSTRUMENT_RE.findall(source.read_text()))
+    return [f"`{name}`" for name in sorted(names) if f"`{name}`" not in doc_text]
+
+
 def main(argv: list[str] | None = None) -> int:
     argv = sys.argv[1:] if argv is None else argv
     root = pathlib.Path(argv[0]) if argv else pathlib.Path.cwd()
-    findings = broken_links(root)
-    for finding in findings:
+    failed = False
+    for finding in broken_links(root):
         print(f"BROKEN LINK: {finding}")
-    if not findings:
-        print(f"doc links OK ({len(doc_files(root))} files checked)")
-    return 1 if findings else 0
+        failed = True
+    for finding in unreachable_docs(root):
+        print(f"UNREACHABLE FROM README: {finding}")
+        failed = True
+    for finding in undocumented_analytics_instruments(root):
+        print(
+            f"UNDOCUMENTED ANALYTICS INSTRUMENT: {finding} is registered "
+            "in src/ but missing from docs/OBSERVABILITY.md"
+        )
+        failed = True
+    if not failed:
+        print(
+            f"doc links OK ({len(doc_files(root))} files checked, "
+            "all docs reachable from README, analytics instruments documented)"
+        )
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

@@ -26,7 +26,7 @@ REPO = pathlib.Path(__file__).resolve().parents[1]
 SRC = REPO / "src" / "repro"
 
 #: Packages under src/repro the gate covers.
-COVERED = ("auth", "bench", "campaigns", "faults", "messaging", "obs")
+COVERED = ("analytics", "auth", "bench", "campaigns", "faults", "messaging", "obs")
 
 
 def _is_public(name: str) -> bool:
